@@ -1,0 +1,61 @@
+//! Criterion benches for the CAMP models themselves: the runtime cost a
+//! deployment pays per prediction (the paper stresses that reading the
+//! counters and evaluating the closed forms is negligible next to any
+//! execution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use camp_core::interleave::{best_shot, InterleaveModel};
+use camp_core::{stats, Calibration, CampPredictor, Signature};
+use camp_sim::{DeviceKind, Machine, Platform, Workload};
+use camp_workloads::kernels::PointerChase;
+
+fn cheap_calibration() -> Calibration {
+    let probes: Vec<Box<dyn Workload>> = vec![
+        Box::new(PointerChase::new("bench-calib-c1", 1, 1 << 18, 1, 20_000)),
+        Box::new(PointerChase::new("bench-calib-c8", 1, 1 << 18, 8, 20_000)),
+    ];
+    Calibration::fit_with(Platform::Spr2s, DeviceKind::CxlA, &probes)
+}
+
+fn prediction_path(c: &mut Criterion) {
+    let predictor = CampPredictor::new(cheap_calibration());
+    let workload = camp_workloads::find("spec.505.mcf-1t").expect("in suite");
+    let report = Machine::dram_only(Platform::Spr2s).run(&workload);
+
+    c.bench_function("signature-extraction", |b| {
+        b.iter(|| Signature::from_report(&report))
+    });
+    c.bench_function("slowdown-prediction", |b| {
+        b.iter(|| predictor.predict(&report.counters))
+    });
+    c.bench_function("saturated-prediction", |b| {
+        b.iter(|| predictor.predict_total_saturated(&report))
+    });
+}
+
+fn interleave_path(c: &mut Criterion) {
+    let predictor = CampPredictor::new(cheap_calibration());
+    let workload = camp_workloads::find("spec.603.bwaves-8t").expect("in suite");
+    let dram = Machine::dram_only(Platform::Skx2s).run(&workload);
+    let slow = Machine::slow_only(Platform::Skx2s, DeviceKind::CxlA).run(&workload);
+    let model = InterleaveModel::from_endpoint_runs(&dram, &slow);
+    let _ = &predictor;
+
+    c.bench_function("interleave-curve-101", |b| b.iter(|| model.curve(100)));
+    c.bench_function("best-shot-selection", |b| b.iter(|| best_shot(&model)));
+}
+
+fn fitting_path(c: &mut Criterion) {
+    c.bench_function("calibration-fit-2-probes", |b| b.iter(cheap_calibration));
+    // Suite-scale Pearson, the Table 1/6 aggregation primitive.
+    let xs: Vec<f64> = (0..265).map(|i| (i as f64 * 0.37).sin() + 1.5).collect();
+    let ys: Vec<f64> = xs.iter().map(|v| v * 1.3 + 0.1).collect();
+    c.bench_function("pearson-265", |b| b.iter(|| stats::pearson(&xs, &ys)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = prediction_path, interleave_path, fitting_path
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for the simulation substrate: op throughput across
+//! workload shapes and machine configurations. These quantify the cost of
+//! regenerating the paper's experiments (every figure is some number of
+//! these runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use camp_sim::{DeviceKind, Machine, Platform, Workload};
+use camp_workloads::kernels::{Gather, PointerChase, StoreKernel, StorePattern, StreamKernel};
+
+const OPS: u64 = 50_000;
+
+fn workloads() -> Vec<(&'static str, Box<dyn Workload>)> {
+    vec![
+        (
+            "chase",
+            Box::new(PointerChase::new("bench-chase", 1, 1 << 18, 1, OPS)) as Box<dyn Workload>,
+        ),
+        ("gups", Box::new(Gather::new("bench-gups", 1, 1 << 18, 0, 0, 0, false, OPS))),
+        ("stream", Box::new(StreamKernel::new("bench-stream", 8, 2, 1 << 16, 2, 0, OPS))),
+        (
+            "memset",
+            Box::new(StoreKernel::new("bench-memset", 1, 4 << 20, StorePattern::Memset, OPS)),
+        ),
+    ]
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine-dram");
+    group.throughput(Throughput::Elements(OPS));
+    for (name, workload) in workloads() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &workload, |b, w| {
+            let machine = Machine::dram_only(Platform::Spr2s);
+            b.iter(|| machine.run(w.as_ref()));
+        });
+    }
+    group.finish();
+}
+
+fn engine_tiered_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine-interleaved");
+    group.throughput(Throughput::Elements(OPS));
+    for (name, workload) in workloads() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &workload, |b, w| {
+            let machine = Machine::interleaved(Platform::Spr2s, DeviceKind::CxlA, 0.7);
+            b.iter(|| machine.run(w.as_ref()));
+        });
+    }
+    group.finish();
+}
+
+fn suite_generation(c: &mut Criterion) {
+    c.bench_function("suite-construction", |b| {
+        b.iter(|| {
+            let suite = camp_workloads::suite();
+            assert_eq!(suite.len(), 265);
+            suite
+        })
+    });
+    c.bench_function("graph-op-generation", |b| {
+        let workload = camp_workloads::find("gap.pr-kron").expect("in suite");
+        b.iter(|| workload.ops().count())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = engine_throughput, engine_tiered_throughput, suite_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro list              # show available experiment ids
+//! repro table1 fig7 ...   # run specific experiments
+//! repro all               # run everything (tens of minutes)
+//! repro --out results all # also archive TSVs under results/
+//! ```
+
+use camp_bench::{experiments, run_experiment, Context};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut results_dir: Option<PathBuf> = Some(PathBuf::from("results"));
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        args.remove(pos);
+        if pos < args.len() {
+            results_dir = Some(PathBuf::from(args.remove(pos)));
+        } else {
+            eprintln!("--out requires a directory");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--no-archive") {
+        args.remove(pos);
+        results_dir = None;
+    }
+    if args.is_empty() || args[0] == "list" || args[0] == "--help" {
+        println!("usage: repro [--out DIR | --no-archive] <experiment..|all>\n");
+        println!("experiments:");
+        for experiment in experiments::registry() {
+            println!("  {:18} {}", experiment.id, experiment.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        experiments::registry().iter().map(|e| e.id.to_string()).collect()
+    } else {
+        args
+    };
+    let ctx = Context::new();
+    let mut stdout = std::io::stdout().lock();
+    for id in &ids {
+        match run_experiment(id, &ctx, &mut stdout, results_dir.as_deref()) {
+            Ok(true) => {}
+            Ok(false) => {
+                eprintln!("unknown experiment '{id}' (try `repro list`)");
+                return ExitCode::FAILURE;
+            }
+            Err(err) => {
+                eprintln!("i/o error while running {id}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("total simulation runs executed: {}", ctx.runs_executed());
+    ExitCode::SUCCESS
+}

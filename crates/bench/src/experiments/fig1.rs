@@ -1,0 +1,32 @@
+//! Figure 1: per-workload scatter of each common metric (and CAMP's
+//! predictor) against measured slowdown — the raw points behind Table 1's
+//! correlations.
+
+use crate::harness::{fmt, Context, Table};
+use camp_core::BaselineMetric;
+
+use super::table1;
+
+/// Runs Figure 1: one row per workload with every metric and the measured
+/// slowdown (plot any metric column against the last column to recreate
+/// panels (a)–(f)).
+pub fn run(ctx: &Context) -> Vec<Table> {
+    let rows = table1::collect(ctx);
+    let mut header: Vec<&str> = vec!["workload"];
+    let names: Vec<String> = BaselineMetric::ALL
+        .iter()
+        .map(|m| m.name().to_lowercase().replace(' ', "_"))
+        .collect();
+    header.extend(names.iter().map(|s| s.as_str()));
+    header.push("camp_predicted");
+    header.push("actual_slowdown");
+    let mut table = Table::new("Figure 1: metric vs slowdown scatter", &header);
+    for (name, metrics, camp, actual) in rows {
+        let mut cells = vec![name];
+        cells.extend(metrics.iter().map(|v| fmt(*v, 4)));
+        cells.push(fmt(camp, 4));
+        cells.push(fmt(actual, 4));
+        table.row(&cells);
+    }
+    vec![table]
+}

@@ -1,0 +1,170 @@
+//! One module per reproduced table/figure, plus ablations.
+//!
+//! Every experiment is a function `run(&Context) -> Vec<Table>`; the
+//! `repro` binary dispatches on experiment id, prints each table and
+//! archives it as TSV under `results/`. The per-experiment index in
+//! `DESIGN.md` maps these ids to the paper's tables and figures.
+
+pub mod ablations;
+pub mod extensions;
+pub mod fig1;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;
+pub mod statics;
+pub mod table1;
+pub mod table6;
+
+use crate::harness::{Context, Table};
+
+/// An experiment id with its runner and a one-line description.
+pub struct Experiment {
+    /// CLI id (`repro <id>`).
+    pub id: &'static str,
+    /// What it regenerates.
+    pub description: &'static str,
+    /// Runner.
+    pub run: fn(&Context) -> Vec<Table>,
+}
+
+/// The experiment registry, in paper order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "table1",
+            description: "Pearson correlation of baseline metrics vs CAMP (Table 1)",
+            run: table1::run,
+        },
+        Experiment {
+            id: "table3",
+            description: "Testbed platform configurations (Table 3)",
+            run: statics::table3,
+        },
+        Experiment {
+            id: "table4",
+            description: "CXL memory expander configurations (Table 4)",
+            run: statics::table4,
+        },
+        Experiment {
+            id: "table5",
+            description: "PMU counters used by CAMP (Table 5)",
+            run: statics::table5,
+        },
+        Experiment {
+            id: "table6",
+            description: "Overall prediction accuracy across NUMA and CXL (Table 6)",
+            run: table6::run,
+        },
+        Experiment {
+            id: "fig1",
+            description: "Correlation of common metrics with slowdown (Figure 1)",
+            run: fig1::run,
+        },
+        Experiment {
+            id: "fig4",
+            description: "Demand-read slowdown inference signals (Figure 4)",
+            run: fig4::run,
+        },
+        Experiment {
+            id: "fig5",
+            description: "LFB pressure explains cache slowdown (Figure 5)",
+            run: fig5::run,
+        },
+        Experiment {
+            id: "fig6",
+            description: "Per-component prediction error CDFs (Figure 6)",
+            run: fig6::run,
+        },
+        Experiment {
+            id: "fig7",
+            description: "Predicted vs actual overall slowdown scatter (Figure 7)",
+            run: fig6::run_fig7,
+        },
+        Experiment {
+            id: "fig8",
+            description: "Time-series prediction on tc-kron (Figure 8)",
+            run: fig8::run,
+        },
+        Experiment {
+            id: "fig9",
+            description: "Per-component slowdown vs interleaving ratio (Figure 9)",
+            run: fig9::run,
+        },
+        Experiment {
+            id: "fig10",
+            description: "MLP invariance and ΔC-based S_DRd under interleaving (Figure 10)",
+            run: fig9::run_fig10,
+        },
+        Experiment {
+            id: "fig11",
+            description: "Per-tier latency and slowdown curves under interleaving (Figure 11)",
+            run: fig9::run_fig11,
+        },
+        Experiment {
+            id: "fig13",
+            description: "Interleaving prediction accuracy on bwaves (Figure 13)",
+            run: fig13::run,
+        },
+        Experiment {
+            id: "fig14",
+            description: "Interleaving model accuracy and Best-shot vs oracle (Figure 14)",
+            run: fig14::run,
+        },
+        Experiment {
+            id: "fig15",
+            description: "Best-shot vs seven tiering baselines (Figure 15)",
+            run: fig15::run,
+        },
+        Experiment {
+            id: "fig16",
+            description: "CAMP-guided colocation (Figure 16)",
+            run: fig16::run,
+        },
+        Experiment {
+            id: "ext-firsttouch",
+            description: "Extension (§5.5): first-touch allocation prediction",
+            run: extensions::first_touch,
+        },
+        Experiment {
+            id: "ext-hybrid",
+            description: "Extension (§6.4): hybrid hot-pinning + interleaving policy",
+            run: extensions::hybrid,
+        },
+        Experiment {
+            id: "table6-emr",
+            description: "Extension: prediction accuracy on EMR2S (sampled suite)",
+            run: extensions::emr,
+        },
+        Experiment {
+            id: "ablate-hyperbolic",
+            description: "Ablation: hyperbolic latency-tolerance transfer (S_DRd)",
+            run: ablations::hyperbolic,
+        },
+        Experiment {
+            id: "ablate-quadratic",
+            description: "Ablation: latency-vs-load exponent in Eq. 8",
+            run: ablations::quadratic,
+        },
+        Experiment {
+            id: "ablate-components",
+            description: "Ablation: contribution of each slowdown component",
+            run: ablations::components,
+        },
+        Experiment {
+            id: "ablate-saturation",
+            description: "Ablation: bandwidth-saturation extension of the predictor",
+            run: ablations::saturation,
+        },
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn find(id: &str) -> Option<Experiment> {
+    registry().into_iter().find(|e| e.id == id)
+}

@@ -1,0 +1,97 @@
+//! Configuration tables (Tables 3, 4 and 5): printed from the presets so
+//! the documented testbed always matches the code.
+
+use crate::harness::{Context, Table};
+use camp_pmu::event::ALL_EVENTS;
+use camp_sim::{DeviceKind, Platform};
+
+/// Table 3: the three platforms.
+pub fn table3(_ctx: &Context) -> Vec<Table> {
+    let mut table = Table::new(
+        "Table 3: Testbed platforms",
+        &["platform", "cores", "freq GHz", "LLC MB", "DRAM", "read GB/s", "write GB/s", "latency ns"],
+    );
+    for platform in Platform::ALL {
+        let cfg = platform.config();
+        table.row(&[
+            platform.name().to_string(),
+            cfg.cores.to_string(),
+            format!("{:.1}", cfg.freq_ghz),
+            (cfg.l3.capacity_bytes / (1 << 20)).to_string(),
+            match platform {
+                Platform::Skx2s => "DDR4-2666".to_string(),
+                _ => "DDR5-4800".to_string(),
+            },
+            format!("{:.0}", cfg.dram.read_bw / 1e9),
+            format!("{:.0}", cfg.dram.write_bw / 1e9),
+            format!("{:.0}", cfg.dram.idle_latency_ns),
+        ]);
+    }
+    vec![table]
+}
+
+/// Table 4: the three CXL expanders (plus the NUMA emulation for
+/// completeness).
+pub fn table4(_ctx: &Context) -> Vec<Table> {
+    let mut table = Table::new(
+        "Table 4: CXL 2.0 memory expanders",
+        &["device", "read GB/s", "write GB/s", "latency ns"],
+    );
+    for kind in [DeviceKind::CxlA, DeviceKind::CxlB, DeviceKind::CxlC, DeviceKind::Numa] {
+        let cfg = kind.config_for(Platform::Skx2s);
+        table.row(&[
+            kind.name().to_string(),
+            format!("{:.0}", cfg.read_bw / 1e9),
+            format!("{:.0}", cfg.write_bw / 1e9),
+            format!("{:.0}", cfg.idle_latency_ns),
+        ]);
+    }
+    vec![table]
+}
+
+/// Table 5: the PMU counters and which platform models use them.
+pub fn table5(_ctx: &Context) -> Vec<Table> {
+    let mut table = Table::new(
+        "Table 5: PMU counters for CAMP",
+        &["#", "name", "SKX", "SPR/EMR", "description"],
+    );
+    for event in ALL_EVENTS {
+        let Some(id) = event.paper_id() else { continue };
+        table.row(&[
+            format!("P{id}"),
+            event.mnemonic().to_string(),
+            if event.used_on_skx() { "x" } else { "" }.to_string(),
+            if event.used_on_spr_emr() { "x" } else { "" }.to_string(),
+            event.description().to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_lists_all_platforms() {
+        let tables = table3(&Context::new());
+        assert_eq!(tables[0].len(), 3);
+        assert!(tables[0].render().contains("SKX2S"));
+    }
+
+    #[test]
+    fn table4_lists_cxl_devices_and_numa() {
+        let tables = table4(&Context::new());
+        assert_eq!(tables[0].len(), 4);
+        let text = tables[0].render();
+        assert!(text.contains("CXL-B"));
+        assert!(text.contains("271"));
+    }
+
+    #[test]
+    fn table5_has_seventeen_counters() {
+        let tables = table5(&Context::new());
+        assert_eq!(tables[0].len(), 17);
+        assert!(tables[0].render().contains("BOUND_ON_STORES"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Shared experiment infrastructure: cached simulation runs, cached
+//! calibrations, and plain-text table output.
+//!
+//! Several experiments consume the same (platform, device) endpoint runs
+//! of the full 265-workload suite; the [`Context`] memoises them so
+//! `repro all` pays for each run once.
+
+use camp_core::{Calibration, CampPredictor};
+use camp_sim::{DeviceKind, Machine, Platform, RunReport, Workload};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Cache key for one endpoint run: platform, slow device (`None` = DRAM
+/// only), workload name.
+type RunKey = (Platform, Option<DeviceKind>, String);
+
+/// Memoising experiment context.
+#[derive(Default)]
+pub struct Context {
+    runs: RefCell<HashMap<RunKey, Rc<RunReport>>>,
+    calibrations: RefCell<HashMap<(Platform, DeviceKind), Rc<Calibration>>>,
+}
+
+impl Context {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs (or recalls) `workload` on `platform`, entirely on DRAM
+    /// (`device = None`) or entirely on the given slow tier.
+    pub fn run(
+        &self,
+        platform: Platform,
+        device: Option<DeviceKind>,
+        workload: &dyn Workload,
+    ) -> Rc<RunReport> {
+        let key = (platform, device, workload.name().to_string());
+        if let Some(report) = self.runs.borrow().get(&key) {
+            return Rc::clone(report);
+        }
+        let machine = match device {
+            None => Machine::dram_only(platform),
+            Some(kind) => Machine::slow_only(platform, kind),
+        };
+        let report = Rc::new(machine.run(workload));
+        self.runs.borrow_mut().insert(key, Rc::clone(&report));
+        report
+    }
+
+    /// Fits (or recalls) the calibration for a (platform, device) pair.
+    pub fn calibration(&self, platform: Platform, device: DeviceKind) -> Rc<Calibration> {
+        let key = (platform, device);
+        if let Some(calibration) = self.calibrations.borrow().get(&key) {
+            return Rc::clone(calibration);
+        }
+        let calibration = Rc::new(Calibration::fit(platform, device));
+        self.calibrations
+            .borrow_mut()
+            .insert(key, Rc::clone(&calibration));
+        calibration
+    }
+
+    /// Convenience: a predictor for a (platform, device) pair.
+    pub fn predictor(&self, platform: Platform, device: DeviceKind) -> CampPredictor {
+        CampPredictor::new((*self.calibration(platform, device)).clone())
+    }
+
+    /// Number of simulation runs executed so far.
+    pub fn runs_executed(&self) -> usize {
+        self.runs.borrow().len()
+    }
+}
+
+/// A plain-text table accumulated row by row and rendered with aligned
+/// columns (the experiment output format; also serialisable as TSV).
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as tab-separated values (for archival under `results/`).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with the given precision (helper for experiment rows).
+pub fn fmt(value: f64, precision: usize) -> String {
+    format!("{value:.precision$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_workloads::kernels::PointerChase;
+
+    #[test]
+    fn context_memoises_runs() {
+        let ctx = Context::new();
+        let w = PointerChase::new("ctx-chase", 1, 1 << 14, 1, 5_000);
+        let a = ctx.run(Platform::Skx2s, None, &w);
+        let b = ctx.run(Platform::Skx2s, None, &w);
+        assert!(Rc::ptr_eq(&a, &b), "second call must hit the cache");
+        assert_eq!(ctx.runs_executed(), 1);
+        let c = ctx.run(Platform::Skx2s, Some(DeviceKind::CxlA), &w);
+        assert!(!Rc::ptr_eq(&a, &c));
+        assert_eq!(ctx.runs_executed(), 2);
+    }
+
+    #[test]
+    fn table_renders_aligned_and_tsv() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(&["alpha".into(), "1.5".into()]);
+        t.row(&["b".into(), "22".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("== Demo =="));
+        assert!(rendered.contains("alpha"));
+        let tsv = t.to_tsv();
+        assert_eq!(tsv.lines().count(), 3);
+        assert!(tsv.starts_with("name\tvalue"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_helper() {
+        assert_eq!(fmt(0.97312, 2), "0.97");
+        assert_eq!(fmt(-1.5, 1), "-1.5");
+    }
+}

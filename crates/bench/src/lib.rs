@@ -1,0 +1,75 @@
+//! Experiment harness regenerating every quantitative table and figure of
+//! the CAMP paper.
+//!
+//! The `repro` binary dispatches over [`experiments::registry`]; each
+//! experiment prints aligned tables and archives TSVs under `results/`.
+//! See `DESIGN.md` for the experiment-to-paper index and `EXPERIMENTS.md`
+//! for recorded paper-vs-measured outcomes.
+
+
+#![warn(missing_docs)]
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{Context, Table};
+
+use std::io::Write;
+use std::path::Path;
+
+/// Runs one experiment by id, printing tables to `out` and archiving TSVs
+/// under `results_dir` (if provided). Returns false for unknown ids.
+pub fn run_experiment(
+    id: &str,
+    ctx: &Context,
+    out: &mut dyn Write,
+    results_dir: Option<&Path>,
+) -> std::io::Result<bool> {
+    let Some(experiment) = experiments::find(id) else {
+        return Ok(false);
+    };
+    let start = std::time::Instant::now();
+    writeln!(out, "# {} — {}", experiment.id, experiment.description)?;
+    let tables = (experiment.run)(ctx);
+    for (i, table) in tables.iter().enumerate() {
+        writeln!(out, "{}", table.render())?;
+        if let Some(dir) = results_dir {
+            std::fs::create_dir_all(dir)?;
+            let path = dir.join(format!("{}-{}.tsv", experiment.id, i));
+            std::fs::write(path, table.to_tsv())?;
+        }
+    }
+    writeln!(out, "[{} finished in {:.1}s]\n", experiment.id, start.elapsed().as_secs_f64())?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let registry = experiments::registry();
+        let mut ids: Vec<&str> = registry.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), registry.len());
+    }
+
+    #[test]
+    fn static_tables_run_through_the_driver() {
+        let ctx = Context::new();
+        let mut out = Vec::new();
+        let found = run_experiment("table5", &ctx, &mut out, None).expect("io ok");
+        assert!(found);
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("ORO_DEMAND_RD"));
+    }
+
+    #[test]
+    fn unknown_experiment_is_reported() {
+        let ctx = Context::new();
+        let mut out = Vec::new();
+        let found = run_experiment("no-such-id", &ctx, &mut out, None).expect("io ok");
+        assert!(!found);
+    }
+}

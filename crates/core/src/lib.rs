@@ -1,0 +1,29 @@
+//! CAMP: Causal Analytical Memory Prediction — the paper's primary
+//! contribution.
+//!
+//! This crate turns DRAM-run PMU counters into forecasts of slow-tier
+//! behaviour:
+//!
+//! - [`Calibration`] fits the platform constants once per
+//!   (platform, device) pair from microbenchmarks (§4.4.1);
+//! - [`CampPredictor`] predicts the three slowdown components from a
+//!   single DRAM run (Eq. 5–7);
+//! - [`signature`] defines the counter-to-model-input mapping (§4.4.3) and
+//!   the Melody-style ground-truth attribution used for evaluation.
+
+
+#![warn(missing_docs)]
+pub mod baselines;
+pub mod calibration;
+pub mod colocation;
+pub mod interleave;
+pub mod model;
+pub mod signature;
+pub mod stats;
+
+pub use baselines::BaselineMetric;
+pub use calibration::Calibration;
+pub use colocation::{ColocationOutcome, ColocationPolicy};
+pub use interleave::{best_shot, BestShot, Boundness, InterleaveModel};
+pub use model::{CampPredictor, SlowdownPrediction};
+pub use signature::{MeasuredComponents, Signature};

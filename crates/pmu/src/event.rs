@@ -1,0 +1,309 @@
+//! The PMU event vocabulary (Table 5 of the paper).
+//!
+//! Events `P1`–`P17` reproduce the Intel core and uncore counters used by
+//! CAMP; [`Event::Cycles`] and [`Event::Instructions`] are the two implicit
+//! counters every model formula normalises by. The names below follow the
+//! paper's abbreviations (`ORO` = `OFFCORE_REQUESTS_OUTSTANDING`, `OR` =
+//! `OFFCORE_REQUESTS`, `LLC_LOOKUP` = `UNC_CHA_LLC_LOOKUP`, `TOR_INS` =
+//! `UNC_CHA_TOR_INSERTS`).
+
+use std::fmt;
+
+/// A hardware performance event tracked by CAMP.
+///
+/// The discriminants are dense so that [`CounterSet`](crate::CounterSet) can
+/// store values in a flat array.
+///
+/// # Example
+///
+/// ```
+/// use camp_pmu::Event;
+///
+/// assert_eq!(Event::StallsL3Miss.paper_id(), Some(3));
+/// assert_eq!(Event::StallsL3Miss.mnemonic(), "STALLS_L3_MISS");
+/// assert!(Event::Cycles.paper_id().is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Event {
+    /// Total unhalted core cycles (the `c` of every model formula).
+    Cycles,
+    /// Retired instructions.
+    Instructions,
+    /// `P1`: stall cycles with an outstanding demand load that missed L1.
+    StallsL1dMiss,
+    /// `P2`: stall cycles with an outstanding demand load that missed L2.
+    StallsL2Miss,
+    /// `P3`: stall cycles with an outstanding demand load that missed L3.
+    StallsL3Miss,
+    /// `P4`: demand load instructions that missed the L1 data cache.
+    L1Miss,
+    /// `P5`: demand loads that missed L1 but hit an in-flight Line Fill
+    /// Buffer entry.
+    LfbHit,
+    /// `P6`: stall cycles where retirement was blocked by a full Store
+    /// Buffer.
+    BoundOnStores,
+    /// `P7`: L1 hardware-prefetch requests sent to the offcore (any
+    /// response).
+    PfL1dAnyResponse,
+    /// `P8`: L1 hardware-prefetch requests that were satisfied by the L3
+    /// (so `(P7 - P8)/P7` is the fraction of L1 prefetches served from
+    /// memory).
+    PfL1dL3Hit,
+    /// `P9`: L2 hardware-prefetch data reads, any response type.
+    PfL2AnyResponse,
+    /// `P10`: L2 hardware-prefetch reads that hit in the L3.
+    PfL2L3Hit,
+    /// `P11`: outstanding demand data reads, accumulated per cycle
+    /// (the integral of in-flight demand reads over time).
+    OroDemandRd,
+    /// `P12`: demand data read requests sent to the offcore.
+    OrDemandRd,
+    /// `P13`: cycles with at least one demand data read pending.
+    OroCycWDemandRd,
+    /// `P14`: LLC & snoop-filter lookups caused by prefetch reads.
+    LlcLookupPfRd,
+    /// `P15`: LLC & snoop-filter lookups, any request type.
+    LlcLookupAll,
+    /// `P16`: prefetches that missed in the snoop filter (went to memory).
+    TorInsIaPref,
+    /// `P17`: prefetches that hit in the snoop filter (served on-chip).
+    TorInsIaHitPref,
+    // ---- auxiliary events used by the characterisation figures ----
+    /// Demand load instructions executed (denominator of L1 hit rates).
+    DemandLoads,
+    /// Demand loads satisfied directly by the L1 data cache.
+    L1dHit,
+    /// Store instructions retired into the Store Buffer.
+    Stores,
+    /// Read-for-ownership requests issued by the Store Buffer drain.
+    RfoRequests,
+}
+
+/// Number of distinct [`Event`] values; the backing-array length of
+/// [`CounterSet`](crate::CounterSet).
+pub const EVENT_COUNT: usize = 23;
+
+/// All events, in discriminant order.
+pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
+    Event::Cycles,
+    Event::Instructions,
+    Event::StallsL1dMiss,
+    Event::StallsL2Miss,
+    Event::StallsL3Miss,
+    Event::L1Miss,
+    Event::LfbHit,
+    Event::BoundOnStores,
+    Event::PfL1dAnyResponse,
+    Event::PfL1dL3Hit,
+    Event::PfL2AnyResponse,
+    Event::PfL2L3Hit,
+    Event::OroDemandRd,
+    Event::OrDemandRd,
+    Event::OroCycWDemandRd,
+    Event::LlcLookupPfRd,
+    Event::LlcLookupAll,
+    Event::TorInsIaPref,
+    Event::TorInsIaHitPref,
+    Event::DemandLoads,
+    Event::L1dHit,
+    Event::Stores,
+    Event::RfoRequests,
+];
+
+impl Event {
+    /// Dense index of this event, suitable for array storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The `P`-number of this event in Table 5 of the paper, or `None` for
+    /// the implicit cycle/instruction counters and the auxiliary events.
+    pub fn paper_id(self) -> Option<u8> {
+        use Event::*;
+        Some(match self {
+            StallsL1dMiss => 1,
+            StallsL2Miss => 2,
+            StallsL3Miss => 3,
+            L1Miss => 4,
+            LfbHit => 5,
+            BoundOnStores => 6,
+            PfL1dAnyResponse => 7,
+            PfL1dL3Hit => 8,
+            PfL2AnyResponse => 9,
+            PfL2L3Hit => 10,
+            OroDemandRd => 11,
+            OrDemandRd => 12,
+            OroCycWDemandRd => 13,
+            LlcLookupPfRd => 14,
+            LlcLookupAll => 15,
+            TorInsIaPref => 16,
+            TorInsIaHitPref => 17,
+            _ => return None,
+        })
+    }
+
+    /// The counter mnemonic as listed in Table 5.
+    pub fn mnemonic(self) -> &'static str {
+        use Event::*;
+        match self {
+            Cycles => "CYCLES",
+            Instructions => "INSTRUCTIONS",
+            StallsL1dMiss => "STALLS_L1D_MISS",
+            StallsL2Miss => "STALLS_L2_MISS",
+            StallsL3Miss => "STALLS_L3_MISS",
+            L1Miss => "L1_MISS",
+            LfbHit => "LFB_HIT",
+            BoundOnStores => "BOUND_ON_STORES",
+            PfL1dAnyResponse => "PF_L1D_ANY_RESPONSE",
+            PfL1dL3Hit => "PF_L1D_L3_HIT",
+            PfL2AnyResponse => "PF_L2_ANY_RESPONSE",
+            PfL2L3Hit => "PF_L2_L3_HIT",
+            OroDemandRd => "ORO_DEMAND_RD",
+            OrDemandRd => "OR_DEMAND_RD",
+            OroCycWDemandRd => "ORO_CYC_W_DEMAND_RD",
+            LlcLookupPfRd => "LLC_LOOKUP_PF_RD",
+            LlcLookupAll => "LLC_LOOKUP_ALL",
+            TorInsIaPref => "TOR_INS_IA_PREF",
+            TorInsIaHitPref => "TOR_INS_IA_HIT_PREF",
+            DemandLoads => "DEMAND_LOADS",
+            L1dHit => "L1D_HIT",
+            Stores => "STORES",
+            RfoRequests => "RFO_REQUESTS",
+        }
+    }
+
+    /// One-line description matching Table 5's "Brief Description" column.
+    pub fn description(self) -> &'static str {
+        use Event::*;
+        match self {
+            Cycles => "unhalted core cycles",
+            Instructions => "retired instructions",
+            StallsL1dMiss => "#s on L1 miss demand load",
+            StallsL2Miss => "#s on L2 miss demand load",
+            StallsL3Miss => "#s on L3 miss demand load",
+            L1Miss => "load instructions missing L1",
+            LfbHit => "load instructions missing L1, hitting LFB",
+            BoundOnStores => "#s where the Store Buffer was full",
+            PfL1dAnyResponse => "all L1 prefetch requests to offcore",
+            PfL1dL3Hit => "L1 prefetch to offcore served by the L3",
+            PfL2AnyResponse => "L2 prefetch data reads, any response type",
+            PfL2L3Hit => "L2 prefetch reads that hit in the L3",
+            OroDemandRd => "outstanding demand data read per cycle",
+            OrDemandRd => "demand data read requests sent to offcore",
+            OroCycWDemandRd => "#c when demand read request is pending",
+            LlcLookupPfRd => "cache & snoop filter lookups; prefetches",
+            LlcLookupAll => "cache & snoop filter lookups; any request",
+            TorInsIaPref => "prefetch that misses in the snoop filter",
+            TorInsIaHitPref => "prefetch that hits in the snoop filter",
+            DemandLoads => "demand load instructions executed",
+            L1dHit => "demand loads served by the L1 data cache",
+            Stores => "store instructions retired",
+            RfoRequests => "read-for-ownership requests from SB drain",
+        }
+    }
+
+    /// Whether the event participates in the final SKX model (`†` marker in
+    /// Table 5).
+    pub fn used_on_skx(self) -> bool {
+        use Event::*;
+        matches!(
+            self,
+            Cycles
+                | StallsL1dMiss
+                | StallsL2Miss
+                | StallsL3Miss
+                | L1Miss
+                | LfbHit
+                | BoundOnStores
+                | PfL1dAnyResponse
+                | PfL1dL3Hit
+                | OrDemandRd
+                | OroCycWDemandRd
+        )
+    }
+
+    /// Whether the event participates in the final SPR/EMR model (`‡` marker
+    /// in Table 5).
+    pub fn used_on_spr_emr(self) -> bool {
+        use Event::*;
+        matches!(
+            self,
+            Cycles
+                | StallsL2Miss
+                | StallsL3Miss
+                | L1Miss
+                | LfbHit
+                | BoundOnStores
+                | OrDemandRd
+                | OroCycWDemandRd
+                | LlcLookupPfRd
+                | LlcLookupAll
+                | TorInsIaPref
+                | TorInsIaHitPref
+        )
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_events_have_dense_unique_indices() {
+        for (i, event) in ALL_EVENTS.iter().enumerate() {
+            assert_eq!(event.index(), i, "{event} is not at its index");
+        }
+    }
+
+    #[test]
+    fn paper_ids_cover_p1_through_p17_exactly_once() {
+        let mut seen = [false; 18];
+        for event in ALL_EVENTS {
+            if let Some(id) = event.paper_id() {
+                assert!(!seen[id as usize], "duplicate paper id {id}");
+                seen[id as usize] = true;
+            }
+        }
+        assert!(seen[1..=17].iter().all(|&s| s), "missing a P-counter");
+    }
+
+    #[test]
+    fn skx_model_uses_eleven_counters() {
+        // Paper, Table 5 caption: "the SKX and SPR/EMR models use 11 and 12
+        // counters, respectively" (including the cycle counter).
+        let skx = ALL_EVENTS.iter().filter(|e| e.used_on_skx()).count();
+        let spr = ALL_EVENTS.iter().filter(|e| e.used_on_spr_emr()).count();
+        assert_eq!(skx, 11);
+        assert_eq!(spr, 12);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut names: Vec<_> = ALL_EVENTS.iter().map(|e| e.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EVENT_COUNT);
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        assert_eq!(Event::LfbHit.to_string(), "LFB_HIT");
+        assert_eq!(format!("{}", Event::OroDemandRd), "ORO_DEMAND_RD");
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for event in ALL_EVENTS {
+            assert!(!event.description().is_empty());
+        }
+    }
+}

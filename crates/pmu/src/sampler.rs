@@ -1,0 +1,181 @@
+//! Epoch sampling for time-series ("dynamic") prediction.
+//!
+//! Real workloads have phases (§4.4.5 / Figure 8 of the paper). CAMP tracks
+//! them by sampling the counter set at a fixed cycle period and predicting
+//! slowdown per epoch. [`EpochSampler`] turns a monotonically growing
+//! [`CounterSet`] into a sequence of per-epoch deltas.
+
+use crate::CounterSet;
+
+/// One sampling interval: the counter deltas accumulated over
+/// `[start_cycle, end_cycle)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Epoch {
+    /// First cycle covered by this epoch.
+    pub start_cycle: u64,
+    /// One past the last cycle covered by this epoch.
+    pub end_cycle: u64,
+    /// Counter deltas accumulated during the epoch.
+    pub counters: CounterSet,
+}
+
+impl Epoch {
+    /// Length of the epoch in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+}
+
+/// Collects per-epoch counter deltas from cumulative snapshots.
+///
+/// Feed it cumulative `(cycle, CounterSet)` snapshots — in this reproduction
+/// the simulator calls [`EpochSampler::observe`] whenever the run crosses an
+/// epoch boundary; on real hardware a timer interrupt would read the PMU.
+///
+/// # Example
+///
+/// ```
+/// use camp_pmu::{CounterSet, EpochSampler, Event};
+///
+/// let mut sampler = EpochSampler::new(1_000);
+/// let mut counters = CounterSet::new();
+/// counters.set(Event::Cycles, 1_000);
+/// counters.set(Event::Instructions, 500);
+/// sampler.observe(1_000, &counters);
+/// counters.set(Event::Cycles, 2_000);
+/// counters.set(Event::Instructions, 1_500);
+/// sampler.observe(2_000, &counters);
+/// let epochs = sampler.into_epochs();
+/// assert_eq!(epochs.len(), 2);
+/// assert_eq!(epochs[1].counters[Event::Instructions], 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpochSampler {
+    period: u64,
+    last_cycle: u64,
+    last_snapshot: CounterSet,
+    epochs: Vec<Epoch>,
+}
+
+impl EpochSampler {
+    /// Creates a sampler with the given epoch period in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: u64) -> Self {
+        assert!(period > 0, "epoch period must be positive");
+        Self {
+            period,
+            last_cycle: 0,
+            last_snapshot: CounterSet::new(),
+            epochs: Vec::new(),
+        }
+    }
+
+    /// The configured epoch period in cycles.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Cycle at which the next epoch boundary falls.
+    pub fn next_boundary(&self) -> u64 {
+        self.last_cycle + self.period
+    }
+
+    /// Records a cumulative snapshot taken at `cycle`, closing one epoch.
+    ///
+    /// Snapshots must be observed in non-decreasing cycle order; an
+    /// observation at the same cycle as the previous one is ignored (an
+    /// empty epoch carries no information).
+    pub fn observe(&mut self, cycle: u64, cumulative: &CounterSet) {
+        debug_assert!(cycle >= self.last_cycle, "snapshots must move forward");
+        if cycle == self.last_cycle {
+            return;
+        }
+        let delta = cumulative.delta_since(&self.last_snapshot);
+        self.epochs.push(Epoch {
+            start_cycle: self.last_cycle,
+            end_cycle: cycle,
+            counters: delta,
+        });
+        self.last_cycle = cycle;
+        self.last_snapshot = cumulative.clone();
+    }
+
+    /// Number of closed epochs so far.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// True if no epoch has been closed yet.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// Borrows the closed epochs.
+    pub fn epochs(&self) -> &[Epoch] {
+        &self.epochs
+    }
+
+    /// Consumes the sampler, returning the closed epochs.
+    pub fn into_epochs(self) -> Vec<Epoch> {
+        self.epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        let _ = EpochSampler::new(0);
+    }
+
+    #[test]
+    fn epochs_partition_the_run() {
+        let mut sampler = EpochSampler::new(100);
+        let mut counters = CounterSet::new();
+        for step in 1..=5u64 {
+            counters.set(Event::Cycles, step * 100);
+            counters.set(Event::OrDemandRd, step * step); // super-linear growth
+            sampler.observe(step * 100, &counters);
+        }
+        let epochs = sampler.into_epochs();
+        assert_eq!(epochs.len(), 5);
+        // Epoch boundaries tile the run with no gaps.
+        for pair in epochs.windows(2) {
+            assert_eq!(pair[0].end_cycle, pair[1].start_cycle);
+        }
+        // Deltas sum back to the cumulative totals.
+        let total: u64 = epochs.iter().map(|e| e.counters[Event::OrDemandRd]).sum();
+        assert_eq!(total, 25);
+        // Each delta reflects only its own epoch: step² − (step−1)².
+        let deltas: Vec<u64> = epochs.iter().map(|e| e.counters[Event::OrDemandRd]).collect();
+        assert_eq!(deltas, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn duplicate_cycle_observation_is_ignored() {
+        let mut sampler = EpochSampler::new(10);
+        let mut counters = CounterSet::new();
+        counters.set(Event::Cycles, 10);
+        sampler.observe(10, &counters);
+        sampler.observe(10, &counters);
+        assert_eq!(sampler.len(), 1);
+    }
+
+    #[test]
+    fn epoch_cycle_length() {
+        let mut sampler = EpochSampler::new(64);
+        assert!(sampler.is_empty());
+        assert_eq!(sampler.next_boundary(), 64);
+        let counters = CounterSet::new();
+        sampler.observe(64, &counters);
+        assert_eq!(sampler.epochs()[0].cycles(), 64);
+        assert_eq!(sampler.next_boundary(), 128);
+    }
+}

@@ -1,0 +1,216 @@
+//! [`CounterSet`]: a flat container holding one value per [`Event`].
+
+use crate::event::{Event, ALL_EVENTS, EVENT_COUNT};
+use std::fmt;
+use std::ops::{Index, Sub};
+
+/// A complete sample of all PMU events.
+///
+/// `CounterSet` is what a profiling run produces and what every CAMP model
+/// consumes. It behaves like a small fixed-size map from [`Event`] to `u64`
+/// with saturating deltas, so epoch sampling can subtract two snapshots
+/// without underflow even for events a simulator updates lazily.
+///
+/// # Example
+///
+/// ```
+/// use camp_pmu::{CounterSet, Event};
+///
+/// let mut before = CounterSet::new();
+/// before.add(Event::Cycles, 100);
+/// let mut after = before.clone();
+/// after.add(Event::Cycles, 50);
+/// let delta = &after - &before;
+/// assert_eq!(delta[Event::Cycles], 50);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct CounterSet {
+    values: [u64; EVENT_COUNT],
+}
+
+impl CounterSet {
+    /// Creates a counter set with every event at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the value of `event`.
+    #[inline]
+    pub fn get(&self, event: Event) -> u64 {
+        self.values[event.index()]
+    }
+
+    /// Returns the value of `event` as `f64` (convenient for model math).
+    #[inline]
+    pub fn get_f64(&self, event: Event) -> f64 {
+        self.get(event) as f64
+    }
+
+    /// Sets the value of `event`.
+    #[inline]
+    pub fn set(&mut self, event: Event, value: u64) {
+        self.values[event.index()] = value;
+    }
+
+    /// Adds `amount` to `event`, saturating at `u64::MAX`.
+    #[inline]
+    pub fn add(&mut self, event: Event, amount: u64) {
+        let slot = &mut self.values[event.index()];
+        *slot = slot.saturating_add(amount);
+    }
+
+    /// Increments `event` by one.
+    #[inline]
+    pub fn incr(&mut self, event: Event) {
+        self.add(event, 1);
+    }
+
+    /// Iterates over `(event, value)` pairs in Table 5 order.
+    pub fn iter(&self) -> impl Iterator<Item = (Event, u64)> + '_ {
+        ALL_EVENTS.iter().map(move |&e| (e, self.get(e)))
+    }
+
+    /// Merges another counter set into this one (element-wise saturating
+    /// add). Useful when aggregating epochs back into a whole-run view.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (slot, &v) in self.values.iter_mut().zip(other.values.iter()) {
+            *slot = slot.saturating_add(v);
+        }
+    }
+
+    /// True if every event is zero.
+    pub fn is_empty(&self) -> bool {
+        self.values.iter().all(|&v| v == 0)
+    }
+
+    /// Element-wise saturating difference `self - earlier`; the delta
+    /// accumulated between two snapshots of the same run.
+    pub fn delta_since(&self, earlier: &CounterSet) -> CounterSet {
+        let mut out = CounterSet::new();
+        for (i, slot) in out.values.iter_mut().enumerate() {
+            *slot = self.values[i].saturating_sub(earlier.values[i]);
+        }
+        out
+    }
+}
+
+impl Index<Event> for CounterSet {
+    type Output = u64;
+
+    fn index(&self, event: Event) -> &u64 {
+        &self.values[event.index()]
+    }
+}
+
+impl Sub for &CounterSet {
+    type Output = CounterSet;
+
+    /// Saturating per-event difference; see [`CounterSet::delta_since`].
+    fn sub(self, rhs: &CounterSet) -> CounterSet {
+        self.delta_since(rhs)
+    }
+}
+
+impl fmt::Debug for CounterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_struct("CounterSet");
+        for (event, value) in self.iter() {
+            if value != 0 {
+                map.field(event.mnemonic(), &value);
+            }
+        }
+        map.finish_non_exhaustive()
+    }
+}
+
+impl FromIterator<(Event, u64)> for CounterSet {
+    fn from_iter<I: IntoIterator<Item = (Event, u64)>>(iter: I) -> Self {
+        let mut set = CounterSet::new();
+        for (event, value) in iter {
+            set.add(event, value);
+        }
+        set
+    }
+}
+
+impl Extend<(Event, u64)> for CounterSet {
+    fn extend<I: IntoIterator<Item = (Event, u64)>>(&mut self, iter: I) {
+        for (event, value) in iter {
+            self.add(event, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_set_is_empty() {
+        let set = CounterSet::new();
+        assert!(set.is_empty());
+        for (_, v) in set.iter() {
+            assert_eq!(v, 0);
+        }
+    }
+
+    #[test]
+    fn add_and_get_round_trip() {
+        let mut set = CounterSet::new();
+        set.add(Event::LfbHit, 7);
+        set.incr(Event::LfbHit);
+        assert_eq!(set.get(Event::LfbHit), 8);
+        assert_eq!(set[Event::LfbHit], 8);
+        assert_eq!(set.get(Event::L1Miss), 0);
+    }
+
+    #[test]
+    fn add_saturates() {
+        let mut set = CounterSet::new();
+        set.set(Event::Cycles, u64::MAX - 1);
+        set.add(Event::Cycles, 10);
+        assert_eq!(set.get(Event::Cycles), u64::MAX);
+    }
+
+    #[test]
+    fn delta_is_saturating() {
+        let mut a = CounterSet::new();
+        let mut b = CounterSet::new();
+        a.set(Event::Cycles, 5);
+        b.set(Event::Cycles, 8);
+        b.set(Event::Stores, 3);
+        let d = &b - &a;
+        assert_eq!(d[Event::Cycles], 3);
+        assert_eq!(d[Event::Stores], 3);
+        // Reverse direction saturates to zero instead of wrapping.
+        let r = &a - &b;
+        assert_eq!(r[Event::Cycles], 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut total = CounterSet::new();
+        let epoch: CounterSet = [(Event::Instructions, 10), (Event::Cycles, 20)]
+            .into_iter()
+            .collect();
+        total.merge(&epoch);
+        total.merge(&epoch);
+        assert_eq!(total[Event::Instructions], 20);
+        assert_eq!(total[Event::Cycles], 40);
+    }
+
+    #[test]
+    fn from_iterator_collects_duplicates_additively() {
+        let set: CounterSet = [(Event::Stores, 1), (Event::Stores, 2)].into_iter().collect();
+        assert_eq!(set[Event::Stores], 3);
+    }
+
+    #[test]
+    fn debug_output_lists_nonzero_events_only() {
+        let mut set = CounterSet::new();
+        set.add(Event::BoundOnStores, 42);
+        let text = format!("{set:?}");
+        assert!(text.contains("BOUND_ON_STORES"));
+        assert!(!text.contains("LFB_HIT"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests for the counter containers.
+
+use camp_pmu::{CounterSet, EpochSampler, Event};
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop::sample::select(camp_pmu::event::ALL_EVENTS.to_vec())
+}
+
+proptest! {
+    /// Delta and merge are inverse-ish: merging deltas of successive
+    /// snapshots reconstructs the final snapshot.
+    #[test]
+    fn deltas_merge_back_to_totals(values in prop::collection::vec((arb_event(), 0u64..1_000_000), 0..64)) {
+        let mut cumulative = CounterSet::new();
+        let mut reconstructed = CounterSet::new();
+        let mut previous = CounterSet::new();
+        for (event, amount) in values {
+            cumulative.add(event, amount);
+            let delta = cumulative.delta_since(&previous);
+            reconstructed.merge(&delta);
+            previous = cumulative.clone();
+        }
+        prop_assert_eq!(reconstructed, cumulative);
+    }
+
+    /// Saturating delta never underflows.
+    #[test]
+    fn delta_never_underflows(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let mut x = CounterSet::new();
+        let mut y = CounterSet::new();
+        x.set(Event::Cycles, a);
+        y.set(Event::Cycles, b);
+        let d = x.delta_since(&y);
+        prop_assert_eq!(d[Event::Cycles], a.saturating_sub(b));
+    }
+
+    /// Epochs partition any monotone snapshot sequence: boundaries tile,
+    /// deltas sum to the final totals.
+    #[test]
+    fn epochs_partition_monotone_runs(steps in prop::collection::vec((1u64..10_000, 0u64..5_000), 1..32)) {
+        let mut sampler = EpochSampler::new(100);
+        let mut cumulative = CounterSet::new();
+        let mut cycle = 0;
+        for (dc, dinstr) in steps {
+            cycle += dc;
+            cumulative.add(Event::Instructions, dinstr);
+            cumulative.set(Event::Cycles, cycle);
+            sampler.observe(cycle, &cumulative);
+        }
+        let epochs = sampler.into_epochs();
+        for pair in epochs.windows(2) {
+            prop_assert_eq!(pair[0].end_cycle, pair[1].start_cycle);
+        }
+        let total: u64 = epochs.iter().map(|e| e.counters[Event::Instructions]).sum();
+        prop_assert_eq!(total, cumulative[Event::Instructions]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Colloid and Alto: latency-equalising migration.
+//!
+//! Colloid's principle is *balance access latencies across tiers*: it
+//! migrates pages toward whichever tier currently shows lower loaded
+//! latency until the two equalise. The paper's §6.2.3 analysis shows why
+//! this mis-optimises bandwidth-bound workloads: at the true optimum the
+//! DRAM latency is *lower* than CXL latency, and equalising drags pages
+//! back onto DRAM, re-creating the contention interleaving was relieving.
+//!
+//! Alto (built on Colloid) limits migration during high-MLP intervals;
+//! we model that as damped adjustment steps whenever the probe run shows
+//! high MLP, which leaves Alto between Colloid and first-touch — matching
+//! the paper's "Alto is slightly better than Colloid".
+
+use crate::policy::{PolicyContext, TieringPolicy};
+use camp_sim::{Machine, Placement, Workload};
+use std::cell::Cell;
+
+/// Shared latency-equalisation loop. Returns the DRAM fraction it settles
+/// on and the number of probe runs consumed.
+fn equalise(
+    ctx: &PolicyContext<'_>,
+    workload: &dyn Workload,
+    iterations: u8,
+    damping: impl Fn(f64) -> f64,
+) -> (f64, u8) {
+    // Start from the provisioned first-touch-like split.
+    let mut x = ctx.fast_capacity_fraction;
+    let mut probes = 0u8;
+    let mut step = 0.25;
+    for _ in 0..iterations {
+        let report = Machine::interleaved(ctx.platform, ctx.device, x).run(workload);
+        probes += 1;
+        let fast_latency = report
+            .fast_tier
+            .avg_read_latency()
+            .unwrap_or(report.fast_tier.idle_latency_cycles);
+        let slow = match &report.slow_tier {
+            Some(t) => t,
+            None => break, // x reached 1.0 and nothing lives on the slow tier
+        };
+        let slow_latency = slow.avg_read_latency().unwrap_or(slow.idle_latency_cycles);
+        // MLP-aware damping hook (Alto).
+        let mlp = report.mlp().unwrap_or(1.0);
+        let effective_step = step * damping(mlp);
+        // Equalise: if DRAM is slower (congested), move pages off DRAM;
+        // if CXL is slower, move pages onto DRAM (bounded by capacity).
+        if fast_latency > slow_latency {
+            x -= effective_step;
+        } else {
+            x += effective_step;
+        }
+        x = x.clamp(0.1, ctx.fast_capacity_fraction);
+        step *= 0.6;
+    }
+    (x, probes)
+}
+
+/// Colloid: migrate until per-tier loaded latencies equalise.
+#[derive(Debug, Clone)]
+pub struct Colloid {
+    iterations: u8,
+    probes_used: Cell<u8>,
+}
+
+impl Default for Colloid {
+    fn default() -> Self {
+        Colloid { iterations: 6, probes_used: Cell::new(0) }
+    }
+}
+
+impl TieringPolicy for Colloid {
+    fn name(&self) -> &'static str {
+        "Colloid"
+    }
+
+    fn place(&self, ctx: &PolicyContext<'_>, workload: &dyn Workload) -> Placement {
+        let (x, probes) = equalise(ctx, workload, self.iterations, |_| 1.0);
+        self.probes_used.set(probes);
+        Placement::interleave_ratio(x)
+    }
+
+    fn profiling_runs(&self) -> u8 {
+        self.probes_used.get()
+    }
+}
+
+/// Alto: Colloid with migration damped while MLP is high.
+#[derive(Debug, Clone)]
+pub struct Alto {
+    iterations: u8,
+    mlp_threshold: f64,
+    probes_used: Cell<u8>,
+}
+
+impl Default for Alto {
+    fn default() -> Self {
+        Alto { iterations: 6, mlp_threshold: 4.0, probes_used: Cell::new(0) }
+    }
+}
+
+impl TieringPolicy for Alto {
+    fn name(&self) -> &'static str {
+        "Alto"
+    }
+
+    fn place(&self, ctx: &PolicyContext<'_>, workload: &dyn Workload) -> Placement {
+        let threshold = self.mlp_threshold;
+        let (x, probes) =
+            equalise(ctx, workload, self.iterations, |mlp| if mlp > threshold { 0.3 } else { 1.0 });
+        self.probes_used.set(probes);
+        Placement::interleave_ratio(x)
+    }
+
+    fn profiling_runs(&self) -> u8 {
+        self.probes_used.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_sim::{DeviceKind, Platform};
+    use camp_workloads::kernels::PointerChase;
+
+    #[test]
+    fn latency_bound_workload_fills_dram_capacity() {
+        // Uncontended DRAM is always faster than CXL, so equalisation
+        // pushes everything DRAM-ward until capacity stops it.
+        let ctx = PolicyContext::new(Platform::Skx2s, DeviceKind::CxlA);
+        let chase = PointerChase::new("colloid-chase", 1, 1 << 19, 2, 30_000);
+        let colloid = Colloid::default();
+        let placement = colloid.place(&ctx, &chase);
+        let frac = placement.fast_fraction().expect("static ratio");
+        assert!((frac - 0.8).abs() < 0.05, "capacity-bound: {frac}");
+        assert!(colloid.profiling_runs() >= 1);
+    }
+
+    #[test]
+    fn high_latency_cxl_keeps_colloid_pinned_at_capacity() {
+        // §6.2.3: even under DRAM congestion, CXL-A's loaded latency stays
+        // above DRAM's, so latency equalisation migrates pages *into* DRAM
+        // until capacity stops it — re-creating the contention Best-shot
+        // avoids.
+        let ctx = PolicyContext::new(Platform::Skx2s, DeviceKind::CxlA);
+        let stream = camp_workloads::find("mlc.stream-8t-c0").expect("in suite");
+        let placement = Colloid::default().place(&ctx, &stream);
+        let frac = placement.fast_fraction().expect("static ratio");
+        assert!((frac - 0.8).abs() < 0.05, "expected capacity-pinned, got {frac}");
+    }
+
+    #[test]
+    fn moderate_latency_numa_lets_colloid_shed_pages() {
+        // With the lower-latency NUMA tier, congested DRAM does show
+        // higher loaded latency than the remote socket, and equalisation
+        // sheds pages off DRAM.
+        let ctx = PolicyContext::new(Platform::Skx2s, DeviceKind::Numa);
+        let stream = camp_workloads::find("mlc.stream-8t-c0").expect("in suite");
+        let placement = Colloid::default().place(&ctx, &stream);
+        let frac = placement.fast_fraction().expect("static ratio");
+        assert!(frac < 0.8, "congested DRAM should shed pages, got {frac}");
+    }
+
+    #[test]
+    fn alto_moves_less_than_colloid_under_high_mlp() {
+        let ctx = PolicyContext::new(Platform::Skx2s, DeviceKind::CxlA);
+        let stream = camp_workloads::find("mlc.stream-8t-c0").expect("in suite");
+        let colloid_frac = Colloid::default()
+            .place(&ctx, &stream)
+            .fast_fraction()
+            .expect("static ratio");
+        let alto_frac = Alto::default()
+            .place(&ctx, &stream)
+            .fast_fraction()
+            .expect("static ratio");
+        // Damped steps keep Alto closer to the 0.8 starting point.
+        assert!(
+            (alto_frac - 0.8).abs() <= (colloid_frac - 0.8).abs() + 1e-9,
+            "alto {alto_frac} vs colloid {colloid_frac}"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Policy evaluation harness: decide a placement, run it, normalise to
+//! DRAM-only (the methodology of Figure 15).
+
+use crate::policy::{PolicyContext, TieringPolicy};
+use camp_sim::{Machine, Workload};
+
+/// Outcome of evaluating one policy on one workload.
+#[derive(Debug, Clone)]
+pub struct PolicyResult {
+    /// Policy name.
+    pub policy: String,
+    /// Workload name.
+    pub workload: String,
+    /// Performance normalised to DRAM-only execution (1.0 = DRAM-only
+    /// speed; higher is better).
+    pub normalized_performance: f64,
+    /// DRAM footprint fraction the placement used, when statically known.
+    pub fast_fraction: Option<f64>,
+    /// Profiling/probe executions the policy consumed.
+    pub profiling_runs: u8,
+}
+
+/// Evaluates `policy` on `workload`: asks for a placement, executes it and
+/// normalises runtime against the DRAM-only run.
+pub fn evaluate_policy(
+    ctx: &PolicyContext<'_>,
+    policy: &dyn TieringPolicy,
+    workload: &dyn Workload,
+) -> PolicyResult {
+    let baseline = Machine::dram_only(ctx.platform).run(workload);
+    let placement = policy.place(ctx, workload);
+    let fast_fraction = placement.fast_fraction();
+    let report = Machine::dram_only(ctx.platform)
+        .with_slow_device(ctx.device)
+        .with_placement(placement)
+        .run(workload);
+    PolicyResult {
+        policy: policy.name().to_string(),
+        workload: workload.name().to_string(),
+        normalized_performance: baseline.cycles / report.cycles,
+        fast_fraction,
+        profiling_runs: policy.profiling_runs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::staticpol::{FirstTouch, Interleave1to1};
+    use camp_sim::{DeviceKind, Platform};
+    use camp_workloads::kernels::PointerChase;
+
+    #[test]
+    fn dram_resident_first_touch_is_near_baseline() {
+        // Capacity 0.8: first-touch puts the first 80% of pages on DRAM;
+        // a chase over them slows only by the spilled fraction.
+        let ctx = PolicyContext::new(Platform::Skx2s, DeviceKind::CxlA);
+        let chase = PointerChase::new("eval-chase", 1, 1 << 19, 1, 40_000);
+        let result = evaluate_policy(&ctx, &FirstTouch, &chase);
+        assert!(result.normalized_performance > 0.7, "{result:?}");
+        assert!(result.normalized_performance <= 1.01, "{result:?}");
+        assert_eq!(result.policy, "First-touch");
+    }
+
+    #[test]
+    fn half_interleave_costs_a_latency_bound_chase() {
+        let ctx = PolicyContext::new(Platform::Skx2s, DeviceKind::CxlA);
+        let chase = PointerChase::new("eval-chase2", 1, 1 << 19, 1, 40_000);
+        let result = evaluate_policy(&ctx, &Interleave1to1, &chase);
+        // Half the accesses pay CXL latency: performance well below 1.
+        assert!(result.normalized_performance < 0.85, "{result:?}");
+        assert_eq!(result.fast_fraction, Some(0.5));
+    }
+}

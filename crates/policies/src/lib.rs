@@ -1,0 +1,52 @@
+//! Baseline tiering, interleaving and colocation policies (§6.2 of the
+//! paper).
+//!
+//! CAMP's Best-shot policy is compared against seven systems. Each is
+//! re-implemented here as its *decision rule* driving the same simulator:
+//!
+//! | Policy | Decision rule |
+//! |---|---|
+//! | Interleave 1:1 | Linux `MPOL_INTERLEAVED` (fixed 50:50) |
+//! | First-touch | Pages stay where first allocated until DRAM fills |
+//! | Caption | Coarse ratio search guided by probe runs |
+//! | NBT | Recency-ranked hot pages promoted to DRAM |
+//! | Colloid | Migrate until per-tier loaded latencies equalise |
+//! | Alto | Colloid, with migration damped during high-MLP phases |
+//! | Soar | Frequency-ranked critical pages pinned to DRAM |
+//!
+//! All baselines are provisioned with a 4:1 fast:slow capacity split (80%
+//! of the footprint fits in DRAM), matching §6.2.1; Best-shot uses only
+//! its analytically chosen ratio.
+
+
+#![warn(missing_docs)]
+pub mod bestshot;
+pub mod caption;
+pub mod colloid;
+pub mod evaluate;
+pub mod hotness;
+pub mod hybrid;
+pub mod policy;
+pub mod staticpol;
+
+pub use bestshot::BestShotPolicy;
+pub use hybrid::HybridCamp;
+pub use caption::Caption;
+pub use colloid::{Alto, Colloid};
+pub use evaluate::{evaluate_policy, PolicyResult};
+pub use hotness::{Nbt, Soar};
+pub use policy::{PolicyContext, TieringPolicy};
+pub use staticpol::{FirstTouch, Interleave1to1};
+
+/// All seven baseline policies of Figure 15, in presentation order.
+pub fn baseline_policies() -> Vec<Box<dyn TieringPolicy>> {
+    vec![
+        Box::new(Interleave1to1),
+        Box::new(Caption::default()),
+        Box::new(FirstTouch),
+        Box::new(Nbt),
+        Box::new(Colloid::default()),
+        Box::new(Alto::default()),
+        Box::new(Soar),
+    ]
+}

@@ -1,0 +1,320 @@
+//! Set-associative cache model with LRU replacement.
+//!
+//! Tag-only simulation: the cache tracks which lines are present and dirty,
+//! not their data. Storage is two flat arrays (`tags`, `meta`) indexed by
+//! `set * ways + way`, which keeps even a 160 MB LLC model at ~25 MB of
+//! simulator memory and makes probes a short linear scan.
+
+use crate::config::{CacheGeometry, LINE_BYTES};
+
+const FLAG_VALID: u8 = 0b01;
+const FLAG_DIRTY: u8 = 0b10;
+
+/// Result of inserting a line: the evicted victim, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Line address (byte address of the line start) of the victim.
+    pub line_addr: u64,
+    /// Whether the victim was dirty and needs writing back.
+    pub dirty: bool,
+}
+
+/// A set-associative, write-back, write-allocate cache with LRU replacement.
+///
+/// Addresses given to the cache are *line* addresses (byte address with the
+/// low `log2(LINE_BYTES)` bits ignored).
+///
+/// # Example
+///
+/// ```
+/// use camp_sim::cache::Cache;
+/// use camp_sim::config::CacheGeometry;
+///
+/// let mut l1 = Cache::new(CacheGeometry {
+///     capacity_bytes: 4096,
+///     ways: 4,
+///     hit_latency: 4,
+/// });
+/// assert!(!l1.probe(0));
+/// l1.insert(0, false);
+/// assert!(l1.probe(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    sets: u64,
+    ways: usize,
+    /// Tag per slot; meaning only when the corresponding meta is valid.
+    tags: Vec<u64>,
+    /// Validity/dirtiness flags per slot.
+    meta: Vec<u8>,
+    /// LRU rank per slot: 0 = most recently used.
+    lru: Vec<u8>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has zero ways or fewer lines than ways.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        assert!(geometry.ways > 0, "cache must have at least one way");
+        assert!(
+            geometry.lines() >= geometry.ways as u64,
+            "cache smaller than one set"
+        );
+        assert!(geometry.ways <= 64, "associativity above 64 unsupported");
+        let sets = geometry.sets();
+        let slots = (sets * geometry.ways as u64) as usize;
+        Cache {
+            geometry,
+            sets,
+            ways: geometry.ways as usize,
+            tags: vec![0; slots],
+            meta: vec![0; slots],
+            lru: vec![0; slots],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Hit latency in cycles.
+    pub fn hit_latency(&self) -> u32 {
+        self.geometry.hit_latency
+    }
+
+    #[inline]
+    fn set_of(&self, line_addr: u64) -> u64 {
+        (line_addr / LINE_BYTES) % self.sets
+    }
+
+    #[inline]
+    fn base(&self, set: u64) -> usize {
+        set as usize * self.ways
+    }
+
+    /// Probes for a line; updates LRU and hit/miss statistics.
+    pub fn probe(&mut self, line_addr: u64) -> bool {
+        let base = self.base(self.set_of(line_addr));
+        for way in 0..self.ways {
+            let slot = base + way;
+            if self.meta[slot] & FLAG_VALID != 0 && self.tags[slot] == line_addr {
+                self.touch(base, way);
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Probes without disturbing LRU or statistics (used for ownership
+    /// checks that are not architectural accesses).
+    pub fn peek(&self, line_addr: u64) -> bool {
+        let base = self.base(self.set_of(line_addr));
+        (0..self.ways).any(|way| {
+            let slot = base + way;
+            self.meta[slot] & FLAG_VALID != 0 && self.tags[slot] == line_addr
+        })
+    }
+
+    /// Marks an already-present line dirty; returns whether it was present.
+    pub fn mark_dirty(&mut self, line_addr: u64) -> bool {
+        let base = self.base(self.set_of(line_addr));
+        for way in 0..self.ways {
+            let slot = base + way;
+            if self.meta[slot] & FLAG_VALID != 0 && self.tags[slot] == line_addr {
+                self.meta[slot] |= FLAG_DIRTY;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts a line (write-allocate if `dirty`), evicting the LRU victim
+    /// of the set if necessary. Inserting an already-present line refreshes
+    /// its LRU position and ORs in dirtiness.
+    pub fn insert(&mut self, line_addr: u64, dirty: bool) -> Option<Eviction> {
+        let base = self.base(self.set_of(line_addr));
+        let dirty_flag = if dirty { FLAG_DIRTY } else { 0 };
+        // Already present?
+        for way in 0..self.ways {
+            let slot = base + way;
+            if self.meta[slot] & FLAG_VALID != 0 && self.tags[slot] == line_addr {
+                self.meta[slot] |= dirty_flag;
+                self.touch(base, way);
+                return None;
+            }
+        }
+        // Free way?
+        for way in 0..self.ways {
+            let slot = base + way;
+            if self.meta[slot] & FLAG_VALID == 0 {
+                self.tags[slot] = line_addr;
+                self.meta[slot] = FLAG_VALID | dirty_flag;
+                self.touch(base, way);
+                return None;
+            }
+        }
+        // Evict the LRU way (highest rank).
+        let victim_way = (0..self.ways)
+            .max_by_key(|&w| self.lru[base + w])
+            .expect("ways > 0");
+        let slot = base + victim_way;
+        let eviction = Eviction {
+            line_addr: self.tags[slot],
+            dirty: self.meta[slot] & FLAG_DIRTY != 0,
+        };
+        self.tags[slot] = line_addr;
+        self.meta[slot] = FLAG_VALID | dirty_flag;
+        self.touch(base, victim_way);
+        Some(eviction)
+    }
+
+    /// Invalidates a line if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line_addr: u64) -> Option<bool> {
+        let base = self.base(self.set_of(line_addr));
+        for way in 0..self.ways {
+            let slot = base + way;
+            if self.meta[slot] & FLAG_VALID != 0 && self.tags[slot] == line_addr {
+                let dirty = self.meta[slot] & FLAG_DIRTY != 0;
+                self.meta[slot] = 0;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Moves `way` to MRU within its set.
+    fn touch(&mut self, base: usize, way: usize) {
+        let rank = self.lru[base + way];
+        for w in 0..self.ways {
+            let slot = base + w;
+            if self.lru[slot] < rank {
+                self.lru[slot] += 1;
+            }
+        }
+        self.lru[base + way] = 0;
+    }
+
+    /// Number of valid lines currently held.
+    pub fn occupancy(&self) -> u64 {
+        self.meta.iter().filter(|&&m| m & FLAG_VALID != 0).count() as u64
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ways: u32, lines: u64) -> Cache {
+        Cache::new(CacheGeometry {
+            capacity_bytes: lines * LINE_BYTES,
+            ways,
+            hit_latency: 4,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny(2, 8);
+        assert!(!c.probe(0));
+        c.insert(0, false);
+        assert!(c.probe(0));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 2-way, 1 set of interest: lines mapping to set 0 of a 4-set cache
+        // are 0, 4*64, 8*64, ...
+        let mut c = tiny(2, 8); // 4 sets x 2 ways
+        let line = |i: u64| i * 4 * LINE_BYTES; // all in set 0
+        c.insert(line(0), false);
+        c.insert(line(1), false);
+        c.probe(line(0)); // 0 is now MRU, 1 is LRU
+        let ev = c.insert(line(2), false).expect("must evict");
+        assert_eq!(ev.line_addr, line(1));
+        assert!(!ev.dirty);
+        assert!(c.peek(line(0)));
+        assert!(!c.peek(line(1)));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny(1, 4); // direct-mapped, 4 sets
+        c.insert(0, true);
+        let ev = c.insert(4 * LINE_BYTES, false).expect("conflict evicts");
+        assert_eq!(ev.line_addr, 0);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn reinsert_refreshes_and_accumulates_dirtiness() {
+        let mut c = tiny(2, 8);
+        c.insert(0, false);
+        assert!(c.insert(0, true).is_none());
+        let dirty = c.invalidate(0).expect("present");
+        assert!(dirty);
+        assert!(!c.peek(0));
+    }
+
+    #[test]
+    fn mark_dirty_only_when_present() {
+        let mut c = tiny(2, 8);
+        assert!(!c.mark_dirty(0));
+        c.insert(0, false);
+        assert!(c.mark_dirty(0));
+        assert_eq!(c.invalidate(0), Some(true));
+    }
+
+    #[test]
+    fn peek_does_not_change_stats_or_lru() {
+        let mut c = tiny(2, 8);
+        c.insert(0, false);
+        let before = c.stats();
+        assert!(c.peek(0));
+        assert!(!c.peek(LINE_BYTES));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = tiny(4, 16);
+        for i in 0..100 {
+            c.insert(i * LINE_BYTES, i % 3 == 0);
+            assert!(c.occupancy() <= 16);
+        }
+        assert_eq!(c.occupancy(), 16);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny(1, 4);
+        for i in 0..4 {
+            c.insert(i * LINE_BYTES, false);
+        }
+        for i in 0..4 {
+            assert!(c.peek(i * LINE_BYTES), "line {i} evicted unexpectedly");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_rejected() {
+        let _ = Cache::new(CacheGeometry { capacity_bytes: 1024, ways: 0, hit_latency: 1 });
+    }
+}

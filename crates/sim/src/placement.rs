@@ -1,0 +1,330 @@
+//! Page-to-tier placement policies.
+//!
+//! A [`Placement`] decides, for every 4 KiB virtual page, whether it lives
+//! on the fast tier (local DRAM) or the slow tier (NUMA/CXL). Weighted
+//! interleaving follows the Linux `weighted interleave` mempolicy: pages
+//! are distributed round-robin according to integer weights, so a
+//! `fast:slow` weight pair of `37:63` puts 37% of the footprint (and, per
+//! §5.2 of the paper, very nearly 37% of the requests) on DRAM.
+
+use crate::config::PAGE_BYTES;
+use std::collections::{HashMap, HashSet};
+
+/// Which tier a page resides on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TierId {
+    /// The fast tier (local DRAM).
+    Fast,
+    /// The slow tier (NUMA or CXL).
+    Slow,
+}
+
+/// A static page-placement policy.
+#[derive(Debug, Clone)]
+pub enum Placement {
+    /// All pages on local DRAM.
+    FastOnly,
+    /// All pages on the slow tier.
+    SlowOnly,
+    /// Weighted round-robin over page numbers: of every
+    /// `fast_weight + slow_weight` consecutive pages, the first
+    /// `fast_weight` land on DRAM.
+    WeightedInterleave {
+        /// Pages per round on the fast tier.
+        fast_weight: u32,
+        /// Pages per round on the slow tier.
+        slow_weight: u32,
+    },
+    /// Pages go to DRAM in first-access order until `fast_pages` distinct
+    /// pages are resident; the rest go to the slow tier.
+    FirstTouch {
+        /// DRAM capacity in pages.
+        fast_pages: u64,
+    },
+    /// An explicit set of pages pinned to DRAM; everything else is slow.
+    /// Used by hotness-based policies (NBT, Soar) and colocation placement.
+    FastPageSet {
+        /// Pages resident on the fast tier.
+        pages: HashSet<u64>,
+        /// Expected fraction of memory traffic served by the fast tier
+        /// (known to the policy from its profiling pass; drives the
+        /// cross-thread contention split).
+        traffic_share: f64,
+    },
+    /// Hybrid tiering + interleaving (the §6.4 extension): an explicit hot
+    /// set is pinned to DRAM and the remaining pages are weighted-
+    /// interleaved, combining hotness protection with bandwidth
+    /// aggregation.
+    Hybrid {
+        /// Hot pages pinned to the fast tier.
+        hot_pages: HashSet<u64>,
+        /// Interleave weight toward DRAM for the remaining pages.
+        fast_weight: u32,
+        /// Interleave weight toward the slow tier for the remaining pages.
+        slow_weight: u32,
+        /// Expected fraction of memory traffic served by the fast tier
+        /// (hot-set traffic plus the cold pages' interleaved share).
+        fast_traffic_share: f64,
+    },
+}
+
+impl Placement {
+    /// Builds a weighted interleave achieving DRAM fraction `x ∈ [0, 1]`
+    /// with percent granularity (matching the paper's 101-ratio sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not in `[0, 1]` or is NaN.
+    pub fn interleave_ratio(x: f64) -> Placement {
+        assert!((0.0..=1.0).contains(&x), "ratio must be in [0,1]");
+        let fast = (x * 100.0).round() as u32;
+        match fast {
+            0 => Placement::SlowOnly,
+            100 => Placement::FastOnly,
+            f => Placement::WeightedInterleave { fast_weight: f, slow_weight: 100 - f },
+        }
+    }
+
+    /// The DRAM footprint fraction this placement targets, if statically
+    /// known (`None` for first-touch and page sets, which depend on the
+    /// access stream / set contents).
+    pub fn fast_fraction(&self) -> Option<f64> {
+        match self {
+            Placement::FastOnly => Some(1.0),
+            Placement::SlowOnly => Some(0.0),
+            Placement::WeightedInterleave { fast_weight, slow_weight } => {
+                Some(*fast_weight as f64 / (*fast_weight + *slow_weight) as f64)
+            }
+            _ => None,
+        }
+    }
+
+    /// True if this placement ever routes a page to the slow tier (i.e. a
+    /// slow device must be configured).
+    pub fn uses_slow_tier(&self) -> bool {
+        !matches!(self, Placement::FastOnly)
+    }
+
+    /// Expected fraction of a `total_pages`-page footprint living on the
+    /// fast tier. Used to apportion cross-thread device contention: with
+    /// symmetric threads, a tier holding fraction `f` of the footprint
+    /// receives fraction `f` of every other thread's traffic.
+    pub fn expected_fast_fraction(&self, total_pages: u64) -> f64 {
+        if let Some(f) = self.fast_fraction() {
+            return f;
+        }
+        let total = total_pages.max(1) as f64;
+        match self {
+            Placement::FirstTouch { fast_pages } => (*fast_pages as f64 / total).min(1.0),
+            Placement::FastPageSet { traffic_share, .. } => traffic_share.clamp(0.0, 1.0),
+            Placement::Hybrid { fast_traffic_share, .. } => fast_traffic_share.clamp(0.0, 1.0),
+            _ => unreachable!("static placements handled by fast_fraction"),
+        }
+    }
+}
+
+/// Runtime placement state for one simulation (first-touch needs to track
+/// which pages were admitted to DRAM).
+#[derive(Debug, Clone)]
+pub struct PlacementState {
+    placement: Placement,
+    first_touch: HashMap<u64, TierId>,
+    fast_touched: u64,
+}
+
+impl PlacementState {
+    /// Wraps a placement for use during a run.
+    pub fn new(placement: Placement) -> Self {
+        PlacementState { placement, first_touch: HashMap::new(), fast_touched: 0 }
+    }
+
+    /// Resolves the tier of the page containing byte address `addr`.
+    pub fn tier_of_addr(&mut self, addr: u64) -> TierId {
+        self.tier_of_page(addr / PAGE_BYTES)
+    }
+
+    /// Resolves the tier of a page number.
+    pub fn tier_of_page(&mut self, page: u64) -> TierId {
+        match &self.placement {
+            Placement::FastOnly => TierId::Fast,
+            Placement::SlowOnly => TierId::Slow,
+            Placement::WeightedInterleave { fast_weight, slow_weight } => {
+                // Round-robin over a *hashed* page index: real weighted
+                // interleaving distributes pages in fault order, which is
+                // effectively decorrelated from virtual page numbers; a
+                // virtual-address-aligned round-robin would create phase
+                // artifacts between arrays that multi-threaded execution
+                // averages away on real machines.
+                let round = (*fast_weight + *slow_weight) as u64;
+                let mut h = page.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                h ^= h >> 31;
+                if h % round < *fast_weight as u64 {
+                    TierId::Fast
+                } else {
+                    TierId::Slow
+                }
+            }
+            Placement::FirstTouch { fast_pages } => {
+                let fast_pages = *fast_pages;
+                *self.first_touch.entry(page).or_insert_with(|| {
+                    if self.fast_touched < fast_pages {
+                        self.fast_touched += 1;
+                        TierId::Fast
+                    } else {
+                        TierId::Slow
+                    }
+                })
+            }
+            Placement::FastPageSet { pages, .. } => {
+                if pages.contains(&page) {
+                    TierId::Fast
+                } else {
+                    TierId::Slow
+                }
+            }
+            Placement::Hybrid { hot_pages, fast_weight, slow_weight, .. } => {
+                if hot_pages.contains(&page) {
+                    return TierId::Fast;
+                }
+                let round = (*fast_weight + *slow_weight) as u64;
+                let mut h = page.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                h ^= h >> 31;
+                if h % round < *fast_weight as u64 {
+                    TierId::Fast
+                } else {
+                    TierId::Slow
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fraction_fast(placement: Placement, pages: u64) -> f64 {
+        let mut state = PlacementState::new(placement);
+        let fast = (0..pages)
+            .filter(|&p| state.tier_of_page(p) == TierId::Fast)
+            .count();
+        fast as f64 / pages as f64
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(fraction_fast(Placement::FastOnly, 100), 1.0);
+        assert_eq!(fraction_fast(Placement::SlowOnly, 100), 0.0);
+    }
+
+    #[test]
+    fn weighted_interleave_hits_requested_ratio() {
+        for pct in [1u32, 25, 37, 50, 63, 99] {
+            let placement = Placement::interleave_ratio(pct as f64 / 100.0);
+            let measured = fraction_fast(placement, 10_000);
+            // Hashed round-robin: exact in expectation, binomial noise in
+            // any finite sample.
+            assert!(
+                (measured - pct as f64 / 100.0).abs() < 0.02,
+                "pct {pct}: measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn interleave_ratio_degenerates_to_pure_placements() {
+        assert!(matches!(Placement::interleave_ratio(0.0), Placement::SlowOnly));
+        assert!(matches!(Placement::interleave_ratio(1.0), Placement::FastOnly));
+        assert!(matches!(
+            Placement::interleave_ratio(0.5),
+            Placement::WeightedInterleave { fast_weight: 50, slow_weight: 50 }
+        ));
+    }
+
+    #[test]
+    fn fast_fraction_reports_static_ratios() {
+        assert_eq!(Placement::FastOnly.fast_fraction(), Some(1.0));
+        assert_eq!(Placement::interleave_ratio(0.37).fast_fraction(), Some(0.37));
+        assert_eq!(Placement::FirstTouch { fast_pages: 4 }.fast_fraction(), None);
+    }
+
+    #[test]
+    fn first_touch_fills_dram_then_spills() {
+        let mut state = PlacementState::new(Placement::FirstTouch { fast_pages: 3 });
+        // Access order determines placement, revisits are stable.
+        assert_eq!(state.tier_of_page(10), TierId::Fast);
+        assert_eq!(state.tier_of_page(20), TierId::Fast);
+        assert_eq!(state.tier_of_page(10), TierId::Fast);
+        assert_eq!(state.tier_of_page(30), TierId::Fast);
+        assert_eq!(state.tier_of_page(40), TierId::Slow);
+        assert_eq!(state.tier_of_page(40), TierId::Slow);
+        assert_eq!(state.tier_of_page(10), TierId::Fast);
+    }
+
+    #[test]
+    fn page_set_pins_exactly_the_listed_pages() {
+        let pages: HashSet<u64> = [2, 4, 8].into_iter().collect();
+        let placement = Placement::FastPageSet { pages, traffic_share: 0.9 };
+        assert!((placement.expected_fast_fraction(100) - 0.9).abs() < 1e-12);
+        let mut state = PlacementState::new(placement);
+        assert_eq!(state.tier_of_page(2), TierId::Fast);
+        assert_eq!(state.tier_of_page(3), TierId::Slow);
+        assert_eq!(state.tier_of_page(8), TierId::Fast);
+    }
+
+    #[test]
+    fn tier_of_addr_uses_4k_pages() {
+        let mut state =
+            PlacementState::new(Placement::WeightedInterleave { fast_weight: 1, slow_weight: 1 });
+        // Every byte of a page resolves to the same tier.
+        for page in 0..64u64 {
+            let first = state.tier_of_addr(page * PAGE_BYTES);
+            assert_eq!(first, state.tier_of_addr(page * PAGE_BYTES + PAGE_BYTES - 1));
+        }
+        // And both tiers are actually used at a 1:1 weight.
+        let mut fast = 0;
+        for page in 0..1000u64 {
+            if state.tier_of_page(page) == TierId::Fast {
+                fast += 1;
+            }
+        }
+        assert!((400..600).contains(&fast), "fast pages {fast}");
+    }
+
+    #[test]
+    fn uses_slow_tier() {
+        assert!(!Placement::FastOnly.uses_slow_tier());
+        assert!(Placement::SlowOnly.uses_slow_tier());
+        assert!(Placement::interleave_ratio(0.5).uses_slow_tier());
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn out_of_range_ratio_rejected() {
+        let _ = Placement::interleave_ratio(1.5);
+    }
+
+    #[test]
+    fn hybrid_pins_hot_pages_and_interleaves_the_rest() {
+        let hot: HashSet<u64> = (0..100).collect();
+        let placement = Placement::Hybrid {
+            hot_pages: hot,
+            fast_weight: 1,
+            slow_weight: 3,
+            fast_traffic_share: 0.6,
+        };
+        assert!((placement.expected_fast_fraction(1000) - 0.6).abs() < 1e-12);
+        let mut state = PlacementState::new(placement);
+        // All hot pages are fast.
+        assert!((0..100).all(|p| state.tier_of_page(p) == TierId::Fast));
+        // Cold pages split roughly 1:3.
+        let fast = (100..10_100u64)
+            .filter(|&p| state.tier_of_page(p) == TierId::Fast)
+            .count() as f64 / 10_000.0;
+        assert!((fast - 0.25).abs() < 0.02, "cold fast share {fast}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the simulation substrate.
+
+use camp_sim::cache::Cache;
+use camp_sim::config::CacheGeometry;
+use camp_sim::engine::Machine;
+use camp_sim::op::{Op, Workload};
+use camp_sim::placement::{Placement, PlacementState, TierId};
+use camp_sim::sweep::MlpSweep;
+use camp_sim::trace::{TraceReader, TraceWriter};
+use camp_sim::{DeviceKind, Platform, LINE_BYTES};
+use proptest::prelude::*;
+
+/// A workload built from an arbitrary op list.
+struct Scripted {
+    ops: Vec<Op>,
+    footprint: u64,
+}
+
+impl Workload for Scripted {
+    fn name(&self) -> &str {
+        "scripted"
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+    fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
+        Box::new(self.ops.iter().copied())
+    }
+}
+
+fn arb_op(footprint: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..footprint, 0u8..3).prop_map(|(addr, dep)| Op::Load { addr, dep }),
+        (0..footprint).prop_map(Op::store),
+        (1u32..16).prop_map(Op::compute),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The engine is deterministic and produces structurally consistent
+    /// counters for arbitrary op streams.
+    #[test]
+    fn engine_handles_arbitrary_streams(ops in prop::collection::vec(arb_op(1 << 22), 1..400)) {
+        let workload = Scripted { ops, footprint: 1 << 22 };
+        let machine = Machine::interleaved(Platform::Spr2s, DeviceKind::CxlA, 0.5);
+        let a = machine.run(&workload);
+        let b = machine.run(&workload);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(&a.counters, &b.counters);
+        use camp_pmu::Event::*;
+        let c = &a.counters;
+        prop_assert!(c[StallsL1dMiss] >= c[StallsL2Miss]);
+        prop_assert!(c[StallsL2Miss] >= c[StallsL3Miss]);
+        prop_assert!(c[DemandLoads] >= c[L1dHit] + c[L1Miss] + c[LfbHit]);
+        prop_assert!(a.cycles >= 0.0);
+        prop_assert!(a.instructions > 0);
+    }
+
+    /// Cache occupancy never exceeds capacity, and a line just inserted is
+    /// present until something evicts it.
+    #[test]
+    fn cache_capacity_is_an_invariant(
+        lines in prop::collection::vec(0u64..256, 1..200),
+        ways in 1u32..8,
+    ) {
+        let mut cache = Cache::new(CacheGeometry {
+            capacity_bytes: 32 * LINE_BYTES,
+            ways,
+            hit_latency: 4,
+        });
+        for &line in &lines {
+            cache.insert(line * LINE_BYTES, line % 2 == 0);
+            prop_assert!(cache.occupancy() <= 32);
+            prop_assert!(cache.peek(line * LINE_BYTES));
+        }
+    }
+
+    /// Weighted interleaving hits the requested ratio in expectation for
+    /// any percentage.
+    #[test]
+    fn interleave_ratio_is_respected(pct in 1u32..100) {
+        let placement = Placement::WeightedInterleave { fast_weight: pct, slow_weight: 100 - pct };
+        let mut state = PlacementState::new(placement);
+        let fast = (0..20_000u64)
+            .filter(|&p| state.tier_of_page(p) == TierId::Fast)
+            .count() as f64 / 20_000.0;
+        prop_assert!((fast - pct as f64 / 100.0).abs() < 0.02, "pct {} got {}", pct, fast);
+    }
+
+    /// Traces round-trip arbitrary op streams bit-exactly.
+    #[test]
+    fn trace_round_trips_arbitrary_ops(
+        ops in prop::collection::vec(arb_op(1 << 40), 0..300),
+        threads in 1u32..64,
+        footprint in 0u64..(1 << 45),
+    ) {
+        let mut buffer = Vec::new();
+        let mut writer = TraceWriter::new(&mut buffer, threads, footprint).unwrap();
+        for &op in &ops {
+            writer.record(op).unwrap();
+        }
+        writer.finish().unwrap();
+        let trace = TraceReader::from_bytes(&buffer, "prop").unwrap();
+        prop_assert_eq!(trace.threads(), threads.min(u16::MAX as u32).max(1));
+        prop_assert_eq!(trace.footprint_bytes(), footprint);
+        let replayed: Vec<Op> = trace.ops().collect();
+        prop_assert_eq!(replayed, ops);
+    }
+
+    /// Sweep-line identities: P11 equals the sum of interval lengths
+    /// (Little's law bookkeeping), P13 never exceeds P11 and never exceeds
+    /// the overall time span.
+    #[test]
+    fn sweep_identities(intervals in prop::collection::vec((0.0f64..1e5, 0.0f64..2e3), 1..100)) {
+        let mut starts: Vec<(f64, f64)> = intervals;
+        starts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut sweep = MlpSweep::new();
+        let mut total = 0.0;
+        let mut span_end = 0.0f64;
+        for &(start, len) in &starts {
+            sweep.insert(start, start + len);
+            total += len;
+            span_end = span_end.max(start + len);
+        }
+        let (p11, p12, p13) = sweep.finish();
+        prop_assert!((p11 - total).abs() < 1e-6 * total.max(1.0));
+        prop_assert_eq!(p12, starts.len() as u64);
+        prop_assert!(p13 <= p11 + 1e-9);
+        prop_assert!(p13 <= span_end - starts[0].0 + 1e-9);
+    }
+}

@@ -1,0 +1,165 @@
+//! Calibration microbenchmark suite (§4.4.1 of the paper).
+//!
+//! CAMP's one-time platform calibration runs a small set of
+//! microbenchmarks on DRAM and on the target slow tier to fit the
+//! platform-specific constants: the hyperbolic parameters `(p, q)` of the
+//! demand-read model and the scaling coefficients `k` of each component
+//! model. Each microbenchmark isolates one pressure point:
+//!
+//! - *pointer chasing* — pure latency sensitivity (`S_DRd` at MLP ≈ 1) and,
+//!   with growing chain counts, the full latency/MLP plane;
+//! - *sequential reads* — bandwidth and MLP behaviour;
+//! - *strided access* — prefetcher-dominated traffic for `S_Cache`;
+//! - *memset* — back-to-back stores for `S_Store`.
+
+use crate::kernels::{Gather, PointerChase, StoreKernel, StorePattern, StreamKernel, StridedRead};
+use camp_sim::Workload;
+
+/// Memory-op budget for calibration runs (kept small: calibration is meant
+/// to be cheap relative to the workloads it serves).
+const OPS: u64 = 160_000;
+
+/// Builds the calibration microbenchmark suite.
+///
+/// # Example
+///
+/// ```
+/// let calib = camp_workloads::calibration_suite();
+/// assert!(calib.len() >= 20);
+/// assert!(calib.iter().all(|w| w.name().starts_with("calib.")));
+/// ```
+pub fn calibration_suite() -> Vec<Box<dyn Workload>> {
+    let mut v: Vec<Box<dyn Workload>> = Vec::new();
+    // Pointer chases spanning MLP 1..16 and the residency spectrum: 32 MB
+    // is LLC-resident on SPR/EMR (low baseline latency, low slowdown),
+    // 64 MB is partially resident, 128/512 MB are memory-resident. The
+    // residency axis gives the hyperbolic fit its low-latency anchor
+    // (the paper's Figure 4d relationship between baseline DRAM latency
+    // and the latency-increase ratio).
+    for (fp_name, lines) in
+        [("32m", 1u64 << 19), ("64m", 1 << 20), ("128m", 1 << 21), ("512m", 1 << 23)]
+    {
+        for chains in [1u8, 2, 3, 4, 6, 8, 12, 16] {
+            v.push(Box::new(PointerChase::new(
+                format!("calib.chase-{fp_name}-c{chains}"),
+                1,
+                lines,
+                chains,
+                OPS,
+            )));
+        }
+    }
+    // Small LLC-resident chases (4/8 MB fit even SKX's 14 MB LLC): their
+    // latency increase on the slow tier is ~zero, anchoring the low end
+    // of the tolerance transfer on every platform.
+    for (fp_name, lines) in [("4m", 1u64 << 16), ("8m", 1 << 17)] {
+        for chains in [1u8, 4, 16] {
+            v.push(Box::new(PointerChase::new(
+                format!("calib.chase-{fp_name}-c{chains}"),
+                1,
+                lines,
+                chains,
+                OPS,
+            )));
+        }
+    }
+    // Random gathers with bounded dependence: additional latency/MLP
+    // points with offcore traffic that is not prefetchable.
+    for dep in [2u8, 6, 10] {
+        v.push(Box::new(Gather::new(
+            format!("calib.gather-d{dep}"),
+            1,
+            1 << 22,
+            dep,
+            0,
+            0,
+            false,
+            OPS,
+        )));
+    }
+    // Sequential reads: bandwidth/MLP and prefetch-coverage behaviour.
+    // Two passes over 2 MiB arrays so the probes genuinely stream from
+    // memory (an LLC-resident stream carries no prefetch-timeliness
+    // signal); the compute spacings bracket the coverage boundary.
+    for (threads, compute) in [(1u32, 0u32), (1, 2), (1, 4), (8, 0), (8, 4)] {
+        v.push(Box::new(StreamKernel::new(
+            format!("calib.seq-{threads}t-c{compute}"),
+            threads,
+            2,
+            1 << 18,
+            compute,
+            0,
+            1 << 20,
+        )));
+    }
+    // Strided access: prefetcher-dominated traffic for S_Cache constants.
+    for stride in [2u64, 4, 8] {
+        for compute in [1u32, 4] {
+            v.push(Box::new(StridedRead::new(
+                format!("calib.strided-s{stride}-c{compute}"),
+                1,
+                1 << 21,
+                stride,
+                compute,
+                OPS,
+            )));
+        }
+    }
+    // Memset: SB backpressure for S_Store constants.
+    for (sz_name, bytes) in [("32m", 32u64 << 20), ("256m", 256 << 20)] {
+        v.push(Box::new(StoreKernel::new(
+            format!("calib.memset-{sz_name}"),
+            1,
+            bytes,
+            StorePattern::Memset,
+            OPS,
+        )));
+    }
+    // Random fill: scattered RFOs (non-prefetchable store traffic).
+    v.push(Box::new(StoreKernel::new(
+        "calib.randfill-128m",
+        1,
+        128 << 20,
+        StorePattern::RandomFill,
+        OPS,
+    )));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn calibration_names_are_unique_and_prefixed() {
+        let suite = calibration_suite();
+        let mut names = HashSet::new();
+        for w in &suite {
+            assert!(w.name().starts_with("calib."), "{}", w.name());
+            assert!(names.insert(w.name().to_string()), "dup {}", w.name());
+        }
+    }
+
+    #[test]
+    fn covers_all_four_pressure_point_probes() {
+        let names: Vec<String> =
+            calibration_suite().iter().map(|w| w.name().to_string()).collect();
+        for probe in ["chase", "seq", "strided", "memset"] {
+            assert!(
+                names.iter().any(|n| n.contains(probe)),
+                "missing {probe} probes"
+            );
+        }
+    }
+
+    #[test]
+    fn chase_probes_span_the_mlp_axis() {
+        let chains: Vec<&str> = vec!["c1", "c2", "c4", "c8", "c16"];
+        let names: Vec<String> =
+            calibration_suite().iter().map(|w| w.name().to_string()).collect();
+        for c in chains {
+            assert!(names.iter().any(|n| n.ends_with(c)), "missing {c} chase");
+        }
+    }
+}

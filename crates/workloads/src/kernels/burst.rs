@@ -1,0 +1,160 @@
+//! Phase-alternating kernels: AI inference and other bursty workloads.
+//!
+//! Alternates long compute phases with intense memory bursts (streaming
+//! weight reads at maximal issue rate). The paper singles these out
+//! (Llama) as the main outliers of the demand-read model: their *average*
+//! MLP understates the instantaneous MLP inside bursts, so CAMP tends to
+//! over-predict their slowdown (§4.1.2, "Outlier analysis"). The suite
+//! includes them precisely to reproduce that behaviour.
+
+use camp_sim::{Op, Workload, LINE_BYTES};
+
+/// A compute/memory-burst alternating workload.
+#[derive(Debug, Clone)]
+pub struct BurstKernel {
+    name: String,
+    threads: u32,
+    compute_phase: u32,
+    burst_lines: u64,
+    footprint_lines: u64,
+    bursts: u64,
+    rmw: bool,
+}
+
+impl BurstKernel {
+    /// Creates a kernel alternating `compute_phase` cycles of compute with
+    /// bursts of `burst_lines` sequential line reads; the burst window
+    /// slides through `footprint_lines` (the weight matrix). `rmw` adds a
+    /// store per burst line (training/updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size parameter is zero.
+    pub fn new(
+        name: impl Into<String>,
+        threads: u32,
+        compute_phase: u32,
+        burst_lines: u64,
+        footprint_lines: u64,
+        bursts: u64,
+        rmw: bool,
+    ) -> Self {
+        assert!(compute_phase > 0 && burst_lines > 0 && footprint_lines > 0 && bursts > 0);
+        BurstKernel {
+            name: name.into(),
+            threads,
+            compute_phase,
+            burst_lines,
+            footprint_lines,
+            bursts,
+            rmw,
+        }
+    }
+}
+
+impl Workload for BurstKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint_lines * LINE_BYTES
+    }
+
+    fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
+        let compute = self.compute_phase;
+        let burst = self.burst_lines;
+        let lines = self.footprint_lines;
+        let bursts = self.bursts;
+        let rmw = self.rmw;
+        let mut burst_idx = 0u64;
+        let mut line_in_burst = 0u64;
+        let mut last_addr = 0u64;
+        let mut pending_store = false;
+        let mut in_compute = true;
+        Box::new(std::iter::from_fn(move || {
+            if pending_store {
+                pending_store = false;
+                return Some(Op::store(last_addr));
+            }
+            if burst_idx >= bursts {
+                return None;
+            }
+            if in_compute {
+                in_compute = false;
+                return Some(Op::compute(compute));
+            }
+            let line = (burst_idx * burst + line_in_burst) % lines;
+            last_addr = line * LINE_BYTES;
+            pending_store = rmw;
+            line_in_burst += 1;
+            if line_in_burst >= burst {
+                line_in_burst = 0;
+                burst_idx += 1;
+                in_compute = true;
+            }
+            Some(Op::load(last_addr))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternates_compute_and_bursts() {
+        let w = BurstKernel::new("b", 1, 100, 4, 1 << 10, 3, false);
+        let ops: Vec<Op> = w.ops().collect();
+        assert_eq!(ops[0], Op::compute(100));
+        assert!(matches!(ops[1], Op::Load { .. }));
+        assert!(matches!(ops[4], Op::Load { .. }));
+        assert_eq!(ops[5], Op::compute(100));
+        // 3 bursts x (1 compute + 4 loads).
+        assert_eq!(ops.len(), 15);
+    }
+
+    #[test]
+    fn burst_loads_are_sequential() {
+        let w = BurstKernel::new("s", 1, 10, 8, 1 << 10, 1, false);
+        let addrs: Vec<u64> = w
+            .ops()
+            .filter_map(|op| match op {
+                Op::Load { addr, .. } => Some(addr),
+                _ => None,
+            })
+            .collect();
+        for pair in addrs.windows(2) {
+            assert_eq!(pair[1], pair[0] + LINE_BYTES);
+        }
+    }
+
+    #[test]
+    fn rmw_interleaves_stores() {
+        let w = BurstKernel::new("r", 1, 10, 4, 1 << 8, 2, true);
+        let ops: Vec<Op> = w.ops().collect();
+        let loads = ops.iter().filter(|o| matches!(o, Op::Load { .. })).count();
+        let stores = ops.iter().filter(|o| matches!(o, Op::Store { .. })).count();
+        assert_eq!(loads, stores);
+        // Each store targets the address of the load preceding it.
+        for pair in ops.windows(2) {
+            if let [Op::Load { addr: a, .. }, Op::Store { addr: b }] = pair {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn window_wraps_within_footprint() {
+        let w = BurstKernel::new("w", 1, 10, 16, 32, 4, false);
+        for op in w.ops() {
+            if let Op::Load { addr, .. } = op {
+                assert!(addr < w.footprint_bytes());
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Pointer chasing: the canonical latency-bound kernel.
+//!
+//! `chains` independent chase chains are interleaved round-robin, each load
+//! depending on its own chain's previous load, so the achievable MLP is
+//! exactly `chains` (up to hardware limits). With `chains = 1` this is the
+//! Intel-MLC-style idle-latency probe the paper uses for `L_idle`
+//! measurements; with larger footprints and chain counts it spans the
+//! latency/MLP plane of Figure 4.
+
+use crate::rng::ChaseWalk;
+use camp_sim::{Op, Workload, LINE_BYTES};
+
+/// A multi-chain pointer-chase workload.
+#[derive(Debug, Clone)]
+pub struct PointerChase {
+    name: String,
+    threads: u32,
+    lines: u64,
+    chains: u8,
+    memory_ops: u64,
+}
+
+impl PointerChase {
+    /// Creates a chase over `lines` cache lines (must be a power of two)
+    /// with `chains` interleaved chains, emitting `memory_ops` loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is not a power of two or `chains` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        threads: u32,
+        lines: u64,
+        chains: u8,
+        memory_ops: u64,
+    ) -> Self {
+        assert!(lines.is_power_of_two(), "chase footprint must be a power of two");
+        assert!(chains > 0, "at least one chain required");
+        PointerChase { name: name.into(), threads, lines, chains, memory_ops }
+    }
+
+    /// Number of interleaved chains (the workload's structural MLP).
+    pub fn chains(&self) -> u8 {
+        self.chains
+    }
+}
+
+impl Workload for PointerChase {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.lines * LINE_BYTES
+    }
+
+    fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
+        let chains = self.chains;
+        let mut walks: Vec<ChaseWalk> = (0..chains)
+            .map(|c| {
+                ChaseWalk::new(
+                    self.lines,
+                    crate::rng::SplitMix::from_name(&self.name).next_u64() ^ c as u64,
+                )
+            })
+            .collect();
+        let total = self.memory_ops;
+        let mut emitted = 0u64;
+        let mut chain = 0usize;
+        Box::new(std::iter::from_fn(move || {
+            if emitted >= total {
+                return None;
+            }
+            emitted += 1;
+            let idx = walks[chain].next_index();
+            chain = (chain + 1) % chains as usize;
+            Some(Op::chase_width(idx * LINE_BYTES, chains))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_requested_op_count_with_chain_dependence() {
+        let w = PointerChase::new("t", 1, 1 << 10, 4, 100);
+        let ops: Vec<Op> = w.ops().collect();
+        assert_eq!(ops.len(), 100);
+        for op in &ops {
+            match op {
+                Op::Load { addr, dep } => {
+                    assert_eq!(*dep, 4);
+                    assert!(*addr < w.footprint_bytes());
+                    assert_eq!(addr % LINE_BYTES, 0);
+                }
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let w = PointerChase::new("det", 1, 1 << 8, 2, 50);
+        let a: Vec<Op> = w.ops().collect();
+        let b: Vec<Op> = w.ops().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_chain_visits_distinct_lines() {
+        let w = PointerChase::new("cover", 1, 256, 1, 256);
+        let mut seen = std::collections::HashSet::new();
+        for op in w.ops() {
+            if let Op::Load { addr, .. } = op {
+                seen.insert(addr);
+            }
+        }
+        assert_eq!(seen.len(), 256, "full-period walk covers the footprint");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_footprint() {
+        let _ = PointerChase::new("bad", 1, 100, 1, 10);
+    }
+}

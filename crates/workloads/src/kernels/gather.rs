@@ -1,0 +1,185 @@
+//! Random gather/update kernels: GUPS, embedding lookups, cross-section
+//! tables.
+//!
+//! Uniform or Zipf-distributed random loads with configurable dependence
+//! (to bound MLP), optional read-modify-write stores, and compute between
+//! accesses. Covers GUPS, DLRM embedding gathers, XSbench cross-section
+//! lookups and hot/cold KV access patterns.
+
+use crate::rng::SplitMix;
+use camp_sim::{Op, Workload, LINE_BYTES};
+
+/// A random gather/update workload.
+#[derive(Debug, Clone)]
+pub struct Gather {
+    name: String,
+    threads: u32,
+    lines: u64,
+    dependence: u8,
+    store_pct: u8,
+    compute_per_access: u32,
+    zipf: bool,
+    memory_ops: u64,
+}
+
+impl Gather {
+    /// Creates a gather over `lines` cache lines.
+    ///
+    /// `dependence = 0` makes loads independent (hardware-limited MLP);
+    /// `dependence = k > 0` chains each load on the k-th previous one
+    /// (structural MLP of k). `store_pct` percent of accesses are
+    /// read-modify-write. `zipf` skews the target distribution toward hot
+    /// lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero or `store_pct > 100`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        threads: u32,
+        lines: u64,
+        dependence: u8,
+        store_pct: u8,
+        compute_per_access: u32,
+        zipf: bool,
+        memory_ops: u64,
+    ) -> Self {
+        assert!(lines > 0, "footprint must be non-empty");
+        assert!(store_pct <= 100, "store percentage out of range");
+        Gather {
+            name: name.into(),
+            threads,
+            lines,
+            dependence,
+            store_pct,
+            compute_per_access,
+            zipf,
+            memory_ops,
+        }
+    }
+}
+
+impl Workload for Gather {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.lines * LINE_BYTES
+    }
+
+    fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
+        let mut rng = SplitMix::from_name(&self.name);
+        let lines = self.lines;
+        let dep = self.dependence;
+        let store_pct = self.store_pct as u64;
+        let compute = self.compute_per_access;
+        let zipf = self.zipf;
+        let total = self.memory_ops;
+        let mut emitted = 0u64;
+        // Pending ops for the current access: store then compute.
+        let mut pending_store: Option<u64> = None;
+        let mut pending_compute = false;
+        Box::new(std::iter::from_fn(move || {
+            if let Some(addr) = pending_store.take() {
+                emitted += 1;
+                return Some(Op::store(addr));
+            }
+            if pending_compute {
+                pending_compute = false;
+                return Some(Op::compute(compute));
+            }
+            if emitted >= total {
+                return None;
+            }
+            emitted += 1;
+            let line = if zipf { rng.zipf(lines) } else { rng.below(lines) };
+            let addr = line * LINE_BYTES;
+            if store_pct > 0 && rng.below(100) < store_pct && emitted < total {
+                pending_store = Some(addr);
+            }
+            pending_compute = compute > 0;
+            Some(Op::Load { addr, dep })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_gather_has_no_dependence() {
+        let w = Gather::new("g", 1, 1 << 12, 0, 0, 0, false, 100);
+        for op in w.ops() {
+            match op {
+                Op::Load { dep, addr } => {
+                    assert_eq!(dep, 0);
+                    assert!(addr < w.footprint_bytes());
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dependence_is_propagated() {
+        let w = Gather::new("d", 1, 1 << 12, 4, 0, 0, false, 10);
+        assert!(w.ops().all(|op| matches!(op, Op::Load { dep: 4, .. })));
+    }
+
+    #[test]
+    fn store_fraction_matches_request() {
+        let w = Gather::new("s", 1, 1 << 12, 0, 50, 0, false, 10_000);
+        let (mut loads, mut stores) = (0u64, 0u64);
+        for op in w.ops() {
+            match op {
+                Op::Load { .. } => loads += 1,
+                Op::Store { .. } => stores += 1,
+                _ => {}
+            }
+        }
+        let frac = stores as f64 / loads as f64;
+        assert!((frac - 0.5).abs() < 0.05, "rmw fraction {frac}");
+        assert_eq!(loads + stores, 10_000, "budget covers loads and stores");
+    }
+
+    #[test]
+    fn rmw_store_targets_the_loaded_line() {
+        let w = Gather::new("rmw", 1, 1 << 12, 0, 100, 0, false, 100);
+        let ops: Vec<Op> = w.ops().collect();
+        let mut i = 0;
+        while i + 1 < ops.len() {
+            if let (Op::Load { addr: a, .. }, Op::Store { addr: b }) = (&ops[i], &ops[i + 1]) {
+                assert_eq!(a, b);
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_gather_is_skewed() {
+        let w = Gather::new("z", 1, 1 << 20, 0, 0, 0, true, 10_000);
+        let hot_limit = (1u64 << 20) / 100 * LINE_BYTES;
+        let hot = w
+            .ops()
+            .filter(|op| matches!(op, Op::Load { addr, .. } if *addr < hot_limit))
+            .count();
+        assert!(hot > 5_000, "hot hits {hot}");
+    }
+
+    #[test]
+    fn compute_follows_each_access() {
+        let w = Gather::new("c", 1, 64, 0, 0, 7, false, 3);
+        let ops: Vec<Op> = w.ops().collect();
+        assert_eq!(ops.len(), 6);
+        assert!(matches!(ops[1], Op::Compute { cycles: 7 }));
+    }
+}

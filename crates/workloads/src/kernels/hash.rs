@@ -1,0 +1,186 @@
+//! Hash-table probes: hash joins, KV-store gets/sets, aggregation tables.
+//!
+//! A probe loads a random bucket head and then walks a short dependent
+//! chain (collision list); inserts add a store to the bucket. Key skew is
+//! optionally Zipf-distributed, which is what makes hotness-based placement
+//! look attractive — and exactly where CAMP's latency-tolerance reasoning
+//! diverges from MPKI (§6.3 of the paper).
+
+use crate::rng::SplitMix;
+use camp_sim::{Op, Workload, LINE_BYTES};
+
+/// A hash-table probe/insert workload.
+#[derive(Debug, Clone)]
+pub struct HashProbe {
+    name: String,
+    threads: u32,
+    bucket_lines: u64,
+    chain_len: u32,
+    insert_pct: u8,
+    zipf: bool,
+    compute_per_probe: u32,
+    memory_ops: u64,
+}
+
+impl HashProbe {
+    /// Creates a probe workload over a table of `bucket_lines` cache lines
+    /// with collision chains of `chain_len` nodes; `insert_pct` percent of
+    /// probes also store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_lines` or `chain_len` is zero, or
+    /// `insert_pct > 100`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        threads: u32,
+        bucket_lines: u64,
+        chain_len: u32,
+        insert_pct: u8,
+        zipf: bool,
+        compute_per_probe: u32,
+        memory_ops: u64,
+    ) -> Self {
+        assert!(bucket_lines > 0 && chain_len > 0);
+        assert!(insert_pct <= 100);
+        HashProbe {
+            name: name.into(),
+            threads,
+            bucket_lines,
+            chain_len,
+            insert_pct,
+            zipf,
+            compute_per_probe,
+            memory_ops,
+        }
+    }
+}
+
+impl Workload for HashProbe {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        // Bucket array plus chain-node arena of the same size per hop.
+        self.bucket_lines * LINE_BYTES * (1 + self.chain_len as u64)
+    }
+
+    fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
+        let mut rng = SplitMix::from_name(&self.name);
+        let buckets = self.bucket_lines;
+        let chain = self.chain_len;
+        let insert_pct = self.insert_pct as u64;
+        let zipf = self.zipf;
+        let compute = self.compute_per_probe;
+        let total = self.memory_ops;
+        let mut emitted = 0u64;
+        let mut hop = 0u32; // 0 = bucket head, 1..=chain = chain nodes
+        const PROBE_DONE: u32 = u32::MAX;
+        let mut bucket = 0u64;
+        let mut do_insert = false;
+        let mut pending_compute = false;
+        Box::new(std::iter::from_fn(move || {
+            if pending_compute {
+                pending_compute = false;
+                return Some(Op::compute(compute));
+            }
+            if hop == PROBE_DONE {
+                // End of probe body: optional insert, then compute.
+                hop = 0;
+                if do_insert {
+                    do_insert = false;
+                    pending_compute = compute > 0;
+                    if emitted >= total {
+                        return None;
+                    }
+                    emitted += 1;
+                    return Some(Op::store(bucket * LINE_BYTES));
+                }
+                if compute > 0 && emitted < total {
+                    return Some(Op::compute(compute));
+                }
+            }
+            if emitted >= total {
+                return None;
+            }
+            emitted += 1;
+            if hop == 0 {
+                bucket = if zipf { rng.zipf(buckets) } else { rng.below(buckets) };
+                do_insert = insert_pct > 0 && rng.below(100) < insert_pct;
+                hop = 1;
+                // Bucket head: independent load (probes overlap).
+                return Some(Op::load(bucket * LINE_BYTES));
+            }
+            // Chain node in the arena region for this hop: address derived
+            // from the bucket (dependent load).
+            let arena_base = hop as u64 * buckets * LINE_BYTES;
+            let node = bucket.wrapping_mul(2654435761 + hop as u64) % buckets;
+            let addr = arena_base + node * LINE_BYTES;
+            hop += 1;
+            if hop > chain {
+                hop = PROBE_DONE;
+            }
+            Some(Op::chase(addr))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_structure_head_then_dependent_chain() {
+        let w = HashProbe::new("h", 1, 1 << 10, 2, 0, false, 1, 9);
+        let ops: Vec<Op> = w.ops().collect();
+        // head (dep 0), chain (dep 1), chain (dep 1), compute, repeat.
+        assert!(matches!(ops[0], Op::Load { dep: 0, .. }));
+        assert!(matches!(ops[1], Op::Load { dep: 1, .. }));
+        assert!(matches!(ops[2], Op::Load { dep: 1, .. }));
+        assert!(matches!(ops[3], Op::Compute { cycles: 1 }));
+        assert!(matches!(ops[4], Op::Load { dep: 0, .. }));
+    }
+
+    #[test]
+    fn inserts_store_to_the_probed_bucket() {
+        let w = HashProbe::new("i", 1, 1 << 10, 1, 100, false, 0, 300);
+        let ops: Vec<Op> = w.ops().collect();
+        let stores = ops.iter().filter(|op| matches!(op, Op::Store { .. })).count();
+        assert!(stores > 50, "stores {stores}");
+        // Every store follows its probe's head within the window.
+        for window in ops.windows(3) {
+            if let [Op::Load { addr: head, dep: 0 }, _, Op::Store { addr }] = window {
+                assert_eq!(head, addr);
+            }
+        }
+    }
+
+    #[test]
+    fn addresses_within_footprint() {
+        let w = HashProbe::new("a", 1, 1 << 8, 3, 20, true, 2, 500);
+        let fp = w.footprint_bytes();
+        for op in w.ops() {
+            let addr = match op {
+                Op::Load { addr, .. } | Op::Store { addr } => addr,
+                Op::Compute { .. } => continue,
+            };
+            assert!(addr < fp, "addr {addr} >= footprint {fp}");
+        }
+    }
+
+    #[test]
+    fn memory_budget_counts_loads_and_stores() {
+        let w = HashProbe::new("b", 1, 1 << 8, 2, 30, false, 1, 400);
+        let memory = w
+            .ops()
+            .filter(|op| !matches!(op, Op::Compute { .. }))
+            .count() as u64;
+        assert!((400..=402).contains(&memory), "memory ops {memory}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Category-mix kernels: SPEC-int-style composite behaviour.
+//!
+//! Each memory access is drawn from four categories — sequential,
+//! random-independent, pointer-chase and store — with configurable weights
+//! and per-access compute. Most "real application" presets in the suite
+//! (gcc, omnetpp, xalancbmk, x264, parsec/phoronix entries, ...) are
+//! parameterisations of this kernel.
+
+use crate::rng::{ChaseWalk, SplitMix};
+use camp_sim::{Op, Workload, LINE_BYTES};
+
+/// Percentage weights of the four access categories. The remainder up to
+/// 100 is implicit store traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixWeights {
+    /// Percent of accesses that advance a sequential stream.
+    pub seq: u8,
+    /// Percent of accesses to uniformly random lines (independent).
+    pub random: u8,
+    /// Percent of accesses that follow a dependent chase chain.
+    pub chase: u8,
+}
+
+impl MixWeights {
+    /// Store percentage (the remainder).
+    pub fn store(&self) -> u8 {
+        100 - self.seq - self.random - self.chase
+    }
+
+    fn validate(&self) {
+        let sum = self.seq as u32 + self.random as u32 + self.chase as u32;
+        assert!(sum <= 100, "mix weights exceed 100%");
+    }
+}
+
+/// A composite-behaviour workload.
+#[derive(Debug, Clone)]
+pub struct MixKernel {
+    name: String,
+    threads: u32,
+    footprint_lines: u64,
+    weights: MixWeights,
+    compute_per_access: u32,
+    memory_ops: u64,
+}
+
+impl MixKernel {
+    /// Creates a mix over `footprint_lines` cache lines (rounded up to a
+    /// power of two internally for the chase component).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights exceed 100% or the footprint is empty.
+    pub fn new(
+        name: impl Into<String>,
+        threads: u32,
+        footprint_lines: u64,
+        weights: MixWeights,
+        compute_per_access: u32,
+        memory_ops: u64,
+    ) -> Self {
+        assert!(footprint_lines > 0);
+        weights.validate();
+        MixKernel {
+            name: name.into(),
+            threads,
+            footprint_lines: footprint_lines.next_power_of_two(),
+            weights,
+            compute_per_access,
+            memory_ops,
+        }
+    }
+}
+
+impl Workload for MixKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint_lines * LINE_BYTES
+    }
+
+    fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
+        let mut rng = SplitMix::from_name(&self.name);
+        let mut chase = ChaseWalk::new(self.footprint_lines, rng.next_u64());
+        let lines = self.footprint_lines;
+        let weights = self.weights;
+        let compute = self.compute_per_access;
+        let total = self.memory_ops;
+        let mut emitted = 0u64;
+        let mut seq_pos = 0u64;
+        let mut pending_compute = false;
+        // Distance since the last chase access: the chase chain's
+        // dependence must skip the interleaved non-chase ops.
+        let mut since_chase = 0u8;
+        Box::new(std::iter::from_fn(move || {
+            if pending_compute {
+                pending_compute = false;
+                return Some(Op::compute(compute));
+            }
+            if emitted >= total {
+                return None;
+            }
+            emitted += 1;
+            pending_compute = compute > 0;
+            let roll = rng.below(100) as u8;
+            since_chase = since_chase.saturating_add(1);
+            if roll < weights.seq {
+                let addr = (seq_pos * 8) % (lines * LINE_BYTES);
+                seq_pos += 1;
+                return Some(Op::load(addr));
+            }
+            if roll < weights.seq + weights.random {
+                return Some(Op::load(rng.below(lines) * LINE_BYTES));
+            }
+            if roll < weights.seq + weights.random + weights.chase {
+                let dep = since_chase;
+                since_chase = 0;
+                return Some(Op::Load { addr: chase.next_index() * LINE_BYTES, dep });
+            }
+            Some(Op::store(rng.below(lines) * LINE_BYTES))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(seq: u8, random: u8, chase: u8) -> MixKernel {
+        MixKernel::new(
+            "m",
+            1,
+            1 << 14,
+            MixWeights { seq, random, chase },
+            0,
+            10_000,
+        )
+    }
+
+    #[test]
+    fn category_frequencies_track_weights() {
+        let w = mix(40, 30, 20); // 10% stores
+        let (mut stores, mut loads) = (0u64, 0u64);
+        for op in w.ops() {
+            match op {
+                Op::Store { .. } => stores += 1,
+                Op::Load { .. } => loads += 1,
+                _ => {}
+            }
+        }
+        let store_frac = stores as f64 / (stores + loads) as f64;
+        assert!((store_frac - 0.10).abs() < 0.02, "store fraction {store_frac}");
+    }
+
+    #[test]
+    fn chase_dependence_skips_interleaved_ops() {
+        let w = mix(0, 50, 50);
+        let mut gap = 0u8;
+        for op in w.ops().take(1000) {
+            match op {
+                Op::Load { dep, .. } if dep > 0 => {
+                    assert_eq!(dep, gap + 1, "dep must span the gap to the last chase");
+                    gap = 0;
+                }
+                Op::Load { .. } | Op::Store { .. } => gap += 1,
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn pure_compute_mix_is_storeless() {
+        let w = mix(100, 0, 0);
+        assert!(w.ops().all(|op| !matches!(op, Op::Store { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 100")]
+    fn overweight_mix_rejected() {
+        let _ = mix(60, 30, 20);
+    }
+
+    #[test]
+    fn footprint_rounds_to_power_of_two() {
+        let w = MixKernel::new("p", 1, 1000, MixWeights { seq: 50, random: 25, chase: 25 }, 0, 10);
+        assert_eq!(w.footprint_bytes(), 1024 * LINE_BYTES);
+    }
+}

@@ -1,0 +1,28 @@
+//! Workload kernel generators.
+//!
+//! Each kernel is a parameterised op-stream generator designed to populate
+//! a distinct region of the causal space CAMP reasons about: dependency
+//! structure (MLP), spatial pattern (prefetchability), store intensity and
+//! bandwidth demand. The 265-workload suite (`crate::suite`) is built from
+//! named presets over these kernels.
+
+pub mod burst;
+pub mod chase;
+pub mod gather;
+pub mod graph;
+pub mod hash;
+pub mod mix;
+pub mod stores;
+pub mod stream;
+pub mod strided;
+pub mod tree;
+
+pub use burst::BurstKernel;
+pub use chase::PointerChase;
+pub use gather::Gather;
+pub use graph::{GraphAlgo, GraphKernel, GraphShape};
+pub use hash::HashProbe;
+pub use mix::MixKernel;
+pub use stores::{StoreKernel, StorePattern};
+pub use stream::StreamKernel;
+pub use strided::StridedRead;

@@ -1,0 +1,156 @@
+//! Store-dominated kernels: memset, memcpy and random fill.
+//!
+//! Back-to-back stores expose Store Buffer backpressure — the `S_Store`
+//! mechanism of §4.3. Memset writes every 8 bytes sequentially (eight
+//! stores per cache line, one RFO per line); memcpy adds a sequential load
+//! stream; random fill scatters RFOs so every store misses.
+
+use crate::rng::SplitMix;
+use camp_sim::{Op, Workload, LINE_BYTES};
+
+/// Spatial pattern of the store kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorePattern {
+    /// Sequential 8-byte stores (memset).
+    Memset,
+    /// Sequential 8-byte load+store pairs (memcpy; loads from the first
+    /// half of the footprint, stores to the second half).
+    Memcpy,
+    /// One store to a random line per op.
+    RandomFill,
+}
+
+/// A store-dominated workload.
+#[derive(Debug, Clone)]
+pub struct StoreKernel {
+    name: String,
+    threads: u32,
+    bytes: u64,
+    pattern: StorePattern,
+    memory_ops: u64,
+}
+
+impl StoreKernel {
+    /// Creates a store kernel over a `bytes`-sized buffer emitting
+    /// `memory_ops` memory operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is smaller than one cache line.
+    pub fn new(
+        name: impl Into<String>,
+        threads: u32,
+        bytes: u64,
+        pattern: StorePattern,
+        memory_ops: u64,
+    ) -> Self {
+        assert!(bytes >= LINE_BYTES, "buffer smaller than a cache line");
+        StoreKernel { name: name.into(), threads, bytes, pattern, memory_ops }
+    }
+}
+
+impl Workload for StoreKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
+        let total = self.memory_ops;
+        let pattern = self.pattern;
+        let bytes = self.bytes;
+        let mut rng = SplitMix::from_name(&self.name);
+        let mut emitted = 0u64;
+        let mut i = 0u64;
+        let mut load_turn = true;
+        Box::new(std::iter::from_fn(move || {
+            if emitted >= total {
+                return None;
+            }
+            emitted += 1;
+            match pattern {
+                StorePattern::Memset => {
+                    let addr = (i * 8) % bytes;
+                    i += 1;
+                    Some(Op::store(addr))
+                }
+                StorePattern::Memcpy => {
+                    let half = bytes / 2;
+                    let addr = (i * 8) % half;
+                    if load_turn {
+                        load_turn = false;
+                        Some(Op::load(addr))
+                    } else {
+                        load_turn = true;
+                        i += 1;
+                        Some(Op::store(half + addr))
+                    }
+                }
+                StorePattern::RandomFill => {
+                    let line = rng.below(bytes / LINE_BYTES);
+                    Some(Op::store(line * LINE_BYTES))
+                }
+            }
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memset_is_sequential_stores() {
+        let w = StoreKernel::new("m", 1, 1 << 20, StorePattern::Memset, 16);
+        let ops: Vec<Op> = w.ops().collect();
+        assert_eq!(ops.len(), 16);
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(*op, Op::store(i as u64 * 8));
+        }
+    }
+
+    #[test]
+    fn memcpy_alternates_load_store_across_halves() {
+        let w = StoreKernel::new("c", 1, 1 << 20, StorePattern::Memcpy, 6);
+        let ops: Vec<Op> = w.ops().collect();
+        let half = 1u64 << 19;
+        assert_eq!(ops[0], Op::load(0));
+        assert_eq!(ops[1], Op::store(half));
+        assert_eq!(ops[2], Op::load(8));
+        assert_eq!(ops[3], Op::store(half + 8));
+    }
+
+    #[test]
+    fn random_fill_stays_line_aligned_in_footprint() {
+        let w = StoreKernel::new("r", 1, 1 << 16, StorePattern::RandomFill, 1000);
+        for op in w.ops() {
+            match op {
+                Op::Store { addr } => {
+                    assert!(addr < (1 << 16));
+                    assert_eq!(addr % LINE_BYTES, 0);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn memset_wraps_at_buffer_end() {
+        let w = StoreKernel::new("w", 1, 64, StorePattern::Memset, 10);
+        let addrs: Vec<u64> = w
+            .ops()
+            .map(|op| match op {
+                Op::Store { addr } => addr,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(addrs[8], 0, "wrapped back to start");
+    }
+}

@@ -1,0 +1,176 @@
+//! Multi-array streaming: the canonical bandwidth-bound kernel.
+//!
+//! Models stencil/SPEC-fp-style loops `A[i] = f(B[i], C[i], ...)`: per
+//! element, one sequential load from each input array, an optional store to
+//! the output array, and a stretch of compute. Entirely prefetchable —
+//! the kernel exercises prefetch timeliness (`S_Cache`) on slow tiers and
+//! saturates device bandwidth at high thread counts.
+
+use camp_sim::{Op, Workload};
+
+/// A sequential multi-array stream kernel.
+#[derive(Debug, Clone)]
+pub struct StreamKernel {
+    name: String,
+    threads: u32,
+    arrays: u32,
+    elems_per_array: u64,
+    compute_per_elem: u32,
+    store_every: u64,
+    memory_ops: u64,
+}
+
+impl StreamKernel {
+    /// Creates a stream over `arrays` input arrays of `elems_per_array`
+    /// 8-byte elements, with `compute_per_elem` cycles of work per element
+    /// and a store to the output array every `store_every` elements
+    /// (`0` = no stores). Emits approximately `memory_ops` memory
+    /// operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays` or `elems_per_array` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        threads: u32,
+        arrays: u32,
+        elems_per_array: u64,
+        compute_per_elem: u32,
+        store_every: u64,
+        memory_ops: u64,
+    ) -> Self {
+        assert!(arrays > 0, "need at least one array");
+        assert!(elems_per_array > 0, "arrays must be non-empty");
+        StreamKernel {
+            name: name.into(),
+            threads,
+            arrays,
+            elems_per_array,
+            compute_per_elem,
+            store_every,
+            memory_ops,
+        }
+    }
+
+    fn array_bytes(&self) -> u64 {
+        self.elems_per_array * 8
+    }
+}
+
+impl Workload for StreamKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        // Input arrays plus one output array when stores are enabled.
+        let out = if self.store_every > 0 { 1 } else { 0 };
+        (self.arrays as u64 + out) * self.array_bytes()
+    }
+
+    fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
+        let arrays = self.arrays as u64;
+        let elems = self.elems_per_array;
+        let array_bytes = self.array_bytes();
+        let compute = self.compute_per_elem;
+        let store_every = self.store_every;
+        let total = self.memory_ops;
+        let mut emitted = 0u64;
+        let mut elem = 0u64;
+        let mut phase = 0u64; // 0..arrays = loads, arrays = store?, arrays+1 = compute
+        Box::new(std::iter::from_fn(move || {
+            loop {
+                if emitted >= total {
+                    return None;
+                }
+                let i = elem % elems;
+                if phase < arrays {
+                    let addr = phase * array_bytes + i * 8;
+                    phase += 1;
+                    emitted += 1;
+                    return Some(Op::load(addr));
+                }
+                if phase == arrays {
+                    phase += 1;
+                    if store_every > 0 && elem.is_multiple_of(store_every) {
+                        emitted += 1;
+                        return Some(Op::store(arrays * array_bytes + i * 8));
+                    }
+                    continue;
+                }
+                // Compute phase, then next element.
+                phase = 0;
+                elem += 1;
+                if compute > 0 {
+                    return Some(Op::compute(compute));
+                }
+            }
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_structure_loads_store_compute() {
+        let w = StreamKernel::new("s", 1, 2, 1024, 3, 1, 9);
+        let ops: Vec<Op> = w.ops().collect();
+        // Element 0: load A[0], load B[0], store OUT[0], compute 3 → repeat.
+        assert_eq!(ops[0], Op::load(0));
+        assert_eq!(ops[1], Op::load(8192));
+        assert_eq!(ops[2], Op::store(16384));
+        assert_eq!(ops[3], Op::compute(3));
+        assert_eq!(ops[4], Op::load(8));
+    }
+
+    #[test]
+    fn memory_op_budget_is_respected() {
+        let w = StreamKernel::new("s", 1, 3, 1 << 16, 2, 0, 1000);
+        let memory_ops = w
+            .ops()
+            .filter(|op| !matches!(op, Op::Compute { .. }))
+            .count();
+        assert_eq!(memory_ops, 1000);
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint_and_wrap() {
+        let w = StreamKernel::new("wrap", 1, 2, 16, 0, 4, 200);
+        for op in w.ops() {
+            let addr = match op {
+                Op::Load { addr, .. } | Op::Store { addr } => addr,
+                Op::Compute { .. } => continue,
+            };
+            assert!(addr < w.footprint_bytes(), "addr {addr} out of range");
+        }
+    }
+
+    #[test]
+    fn no_store_array_without_stores() {
+        let with = StreamKernel::new("a", 1, 2, 8, 0, 1, 10).footprint_bytes();
+        let without = StreamKernel::new("a", 1, 2, 8, 0, 0, 10).footprint_bytes();
+        assert_eq!(with, 3 * 64);
+        assert_eq!(without, 2 * 64);
+    }
+
+    #[test]
+    fn loads_are_sequential_per_array() {
+        let w = StreamKernel::new("seq", 1, 1, 1 << 12, 0, 0, 64);
+        let addrs: Vec<u64> = w
+            .ops()
+            .filter_map(|op| match op {
+                Op::Load { addr, .. } => Some(addr),
+                _ => None,
+            })
+            .collect();
+        for pair in addrs.windows(2) {
+            assert_eq!(pair[1], pair[0] + 8);
+        }
+    }
+}

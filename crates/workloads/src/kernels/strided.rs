@@ -1,0 +1,139 @@
+//! Strided reads: the prefetcher-calibration kernel.
+//!
+//! Accesses advance by a fixed number of cache lines, which trains the
+//! stride prefetchers without the full spatial locality of a stream. The
+//! paper's calibration suite uses strided access to fit the `S_Cache`
+//! constants (§4.4.1).
+
+use camp_sim::{Op, Workload, LINE_BYTES};
+
+/// A strided read kernel.
+#[derive(Debug, Clone)]
+pub struct StridedRead {
+    name: String,
+    threads: u32,
+    footprint_lines: u64,
+    stride_lines: u64,
+    compute_per_access: u32,
+    memory_ops: u64,
+}
+
+impl StridedRead {
+    /// Creates a strided reader over `footprint_lines` cache lines with a
+    /// stride of `stride_lines`, `compute_per_access` cycles between loads,
+    /// emitting `memory_ops` loads. Each pass over the footprint shifts by
+    /// one line so successive passes touch fresh lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint_lines` or `stride_lines` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        threads: u32,
+        footprint_lines: u64,
+        stride_lines: u64,
+        compute_per_access: u32,
+        memory_ops: u64,
+    ) -> Self {
+        assert!(footprint_lines > 0 && stride_lines > 0);
+        StridedRead {
+            name: name.into(),
+            threads,
+            footprint_lines,
+            stride_lines,
+            compute_per_access,
+            memory_ops,
+        }
+    }
+}
+
+impl Workload for StridedRead {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint_lines * LINE_BYTES
+    }
+
+    fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
+        let lines = self.footprint_lines;
+        let stride = self.stride_lines;
+        let compute = self.compute_per_access;
+        let total = self.memory_ops;
+        let mut emitted = 0u64;
+        let mut pos = 0u64;
+        let mut wrap_offset = 0u64;
+        let mut pending_compute = false;
+        Box::new(std::iter::from_fn(move || {
+            if pending_compute {
+                pending_compute = false;
+                return Some(Op::compute(compute));
+            }
+            if emitted >= total {
+                return None;
+            }
+            emitted += 1;
+            let line = (pos + wrap_offset) % lines;
+            pos += stride;
+            if pos >= lines {
+                pos = 0;
+                wrap_offset = (wrap_offset + 1) % stride.max(1);
+            }
+            pending_compute = compute > 0;
+            Some(Op::load(line * LINE_BYTES))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_advances_by_stride_lines() {
+        let w = StridedRead::new("s", 1, 1024, 8, 0, 4);
+        let addrs: Vec<u64> = w
+            .ops()
+            .filter_map(|op| match op {
+                Op::Load { addr, .. } => Some(addr / LINE_BYTES),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(addrs, vec![0, 8, 16, 24]);
+    }
+
+    #[test]
+    fn wrap_shifts_to_fresh_lines() {
+        let w = StridedRead::new("w", 1, 16, 4, 0, 8);
+        let addrs: Vec<u64> = w
+            .ops()
+            .filter_map(|op| match op {
+                Op::Load { addr, .. } => Some(addr / LINE_BYTES),
+                _ => None,
+            })
+            .collect();
+        // First pass: 0,4,8,12; second pass shifted by 1: 1,5,9,13.
+        assert_eq!(addrs, vec![0, 4, 8, 12, 1, 5, 9, 13]);
+    }
+
+    #[test]
+    fn compute_interleaves_after_each_load() {
+        let w = StridedRead::new("c", 1, 64, 2, 5, 3);
+        let ops: Vec<Op> = w.ops().collect();
+        assert_eq!(ops.len(), 6);
+        assert!(matches!(ops[1], Op::Compute { cycles: 5 }));
+        assert!(matches!(ops[3], Op::Compute { cycles: 5 }));
+    }
+
+    #[test]
+    fn op_budget_counts_loads_only() {
+        let w = StridedRead::new("b", 1, 1 << 12, 2, 3, 500);
+        let loads = w.ops().filter(|op| matches!(op, Op::Load { .. })).count();
+        assert_eq!(loads, 500);
+    }
+}

@@ -1,0 +1,172 @@
+//! Index-tree traversal: B-tree lookups and spatial range queries.
+//!
+//! Each lookup descends a fixed number of levels; loads within a lookup are
+//! serially dependent (the child pointer comes from the parent node), while
+//! `concurrent` lookups proceed in parallel — so MLP is bounded by the
+//! concurrency, and upper levels fit in cache while leaf levels live in
+//! memory. This is the structure of `rangeQuery2d` (PBBS) and of database
+//! index probes.
+
+use crate::rng::SplitMix;
+use camp_sim::{Op, Workload, LINE_BYTES};
+
+/// A tree-traversal workload.
+#[derive(Debug, Clone)]
+pub struct TreeLookup {
+    name: String,
+    threads: u32,
+    levels: u32,
+    leaf_lines: u64,
+    concurrent: u8,
+    compute_per_node: u32,
+    memory_ops: u64,
+}
+
+impl TreeLookup {
+    /// Creates a traversal of a `levels`-deep tree whose leaf level spans
+    /// `leaf_lines` cache lines; each level above is 8x smaller.
+    /// `concurrent` lookups are interleaved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels`, `leaf_lines` or `concurrent` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        threads: u32,
+        levels: u32,
+        leaf_lines: u64,
+        concurrent: u8,
+        compute_per_node: u32,
+        memory_ops: u64,
+    ) -> Self {
+        assert!(levels > 0 && leaf_lines > 0 && concurrent > 0);
+        TreeLookup {
+            name: name.into(),
+            threads,
+            levels,
+            leaf_lines,
+            concurrent,
+            compute_per_node,
+            memory_ops,
+        }
+    }
+
+    /// Size of level `l` in lines (level 0 = root, shrinking by 8x per
+    /// level up from the leaves).
+    fn level_lines(&self, level: u32) -> u64 {
+        let shift = 3 * (self.levels - 1 - level);
+        (self.leaf_lines >> shift).max(1)
+    }
+
+    /// Byte offset where level `l` starts.
+    fn level_base(&self, level: u32) -> u64 {
+        (0..level).map(|l| self.level_lines(l) * LINE_BYTES).sum()
+    }
+}
+
+impl Workload for TreeLookup {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.level_base(self.levels)
+    }
+
+    fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
+        let mut rng = SplitMix::from_name(&self.name);
+        let levels = self.levels;
+        let concurrent = self.concurrent;
+        let compute = self.compute_per_node;
+        let total = self.memory_ops;
+        let bases: Vec<u64> = (0..levels).map(|l| self.level_base(l)).collect();
+        let sizes: Vec<u64> = (0..levels).map(|l| self.level_lines(l)).collect();
+        let mut emitted = 0u64;
+        let mut level = 0u32;
+        let mut lookup = 0u8;
+        let mut pending_compute = false;
+        Box::new(std::iter::from_fn(move || {
+            if pending_compute {
+                pending_compute = false;
+                return Some(Op::compute(compute));
+            }
+            if emitted >= total {
+                return None;
+            }
+            emitted += 1;
+            let line = rng.below(sizes[level as usize]);
+            let addr = bases[level as usize] + line * LINE_BYTES;
+            // Root loads start fresh lookups (independent); every deeper
+            // load depends on its own lookup's parent, which sits exactly
+            // `concurrent` ops earlier in the interleaved stream.
+            let dep = if level == 0 { 0 } else { concurrent };
+            // Interleave `concurrent` lookups level by level.
+            lookup += 1;
+            if lookup == concurrent {
+                lookup = 0;
+                level = (level + 1) % levels;
+            }
+            pending_compute = compute > 0;
+            Some(Op::Load { addr, dep })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_shrink_geometrically_upward() {
+        let w = TreeLookup::new("t", 1, 4, 1 << 12, 1, 0, 10);
+        assert_eq!(w.level_lines(3), 1 << 12);
+        assert_eq!(w.level_lines(2), 1 << 9);
+        assert_eq!(w.level_lines(1), 1 << 6);
+        assert_eq!(w.level_lines(0), 1 << 3);
+    }
+
+    #[test]
+    fn footprint_covers_all_levels() {
+        let w = TreeLookup::new("f", 1, 3, 64, 1, 0, 10);
+        // 1 + 8 + 64 lines.
+        assert_eq!(w.footprint_bytes(), 73 * LINE_BYTES);
+    }
+
+    #[test]
+    fn addresses_fall_in_their_level_regions() {
+        let w = TreeLookup::new("r", 1, 3, 64, 1, 0, 30);
+        let footprint = w.footprint_bytes();
+        for op in w.ops() {
+            if let Op::Load { addr, .. } = op {
+                assert!(addr < footprint);
+            }
+        }
+    }
+
+    #[test]
+    fn dependence_matches_concurrency() {
+        let w = TreeLookup::new("d", 1, 4, 1 << 12, 4, 0, 64);
+        let deps: Vec<u8> = w
+            .ops()
+            .filter_map(|op| match op {
+                Op::Load { dep, .. } => Some(dep),
+                _ => None,
+            })
+            .collect();
+        // Three of four levels carry the concurrency as dependence
+        // distance; root loads are independent.
+        assert_eq!(deps.iter().filter(|&&d| d == 4).count(), 48);
+        assert_eq!(deps.iter().filter(|&&d| d == 0).count(), 16);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let w = TreeLookup::new("b", 1, 2, 1 << 8, 2, 3, 100);
+        let loads = w.ops().filter(|op| matches!(op, Op::Load { .. })).count();
+        assert_eq!(loads, 100);
+    }
+}

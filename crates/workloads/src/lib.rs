@@ -1,0 +1,34 @@
+//! The CAMP workload suite: 265 named synthetic workloads plus the
+//! calibration microbenchmarks.
+//!
+//! The paper evaluates CAMP on 265 workloads from SPEC CPU 2017, PARSEC,
+//! GAPBS, PBBS, XSbench, Phoronix and cloud/AI applications. Those binaries
+//! and their datasets are not available here, so this crate provides a
+//! synthetic counterpart: parameterised kernel generators
+//! ([`kernels`]) composed into named presets ([`suite()`](suite())) that populate the
+//! same space of causal behaviours — latency sensitivity, memory-level
+//! parallelism, prefetchability, store intensity, bandwidth demand and
+//! phase structure. CAMP's claims are about predicting slowdown from those
+//! properties, not about binary identity, so this substitution preserves
+//! what the evaluation measures (see `DESIGN.md` §1 at the repository
+//! root).
+//!
+//! # Example
+//!
+//! ```
+//! use camp_sim::{Machine, Platform};
+//!
+//! let workload = camp_workloads::find("spec.505.mcf-1t").expect("in suite");
+//! let report = Machine::dram_only(Platform::Spr2s).run(&workload);
+//! assert!(report.cycles > 0.0);
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod calib;
+pub mod kernels;
+pub mod rng;
+pub mod suite;
+
+pub use calib::calibration_suite;
+pub use suite::{bestshot_workloads, find, interleaving_workloads, suite};

@@ -1,0 +1,1018 @@
+//! The 265-workload evaluation suite.
+//!
+//! The paper evaluates CAMP on 265 workloads drawn from SPEC CPU 2017,
+//! PARSEC, GAPBS, PBBS, XSbench, Phoronix and cloud/AI applications
+//! (Redis, Spark, VoltDB, MLPerf, Llama, GPT-2, DLRM). This module builds
+//! the synthetic counterpart: 265 named presets over the kernel generators,
+//! organised in the same families and sized to span the same causal axes —
+//! latency sensitivity, MLP, prefetchability, store intensity, bandwidth
+//! demand and phase behaviour.
+//!
+//! Names are stable identifiers of the form `family.workload[-variant]`
+//! (e.g. `spec.603.bwaves-8t`, `gap.tc-kron-lg`); experiments reference
+//! them via [`find`].
+
+use crate::kernels::{
+    BurstKernel, Gather, GraphAlgo, GraphKernel, GraphShape, HashProbe, MixKernel, PointerChase,
+    StoreKernel, StorePattern, StreamKernel, StridedRead,
+};
+use crate::kernels::mix::MixWeights;
+use camp_sim::Workload;
+
+/// Default memory-operation budget per workload.
+const OPS: u64 = 300_000;
+/// Elements per array for sequential-stream workloads (4 MiB of 8-byte
+/// elements). Stream budgets cover two full passes so the *touched* bytes
+/// equal the declared footprint — placement policies reason about
+/// footprints, so the two must agree.
+const STREAM_ELEMS: u64 = 1 << 19;
+
+/// Memory-op budget for a stream of `arrays` input arrays: two passes.
+fn stream_budget(arrays: u32) -> u64 {
+    arrays as u64 * STREAM_ELEMS * 2
+}
+
+type W = Box<dyn Workload>;
+
+fn mix(
+    name: &str,
+    threads: u32,
+    lines: u64,
+    seq: u8,
+    random: u8,
+    chase: u8,
+    compute: u32,
+) -> W {
+    Box::new(MixKernel::new(
+        name,
+        threads,
+        lines,
+        MixWeights { seq, random, chase },
+        compute,
+        OPS,
+    ))
+}
+
+/// Micro / MLC-style kernels (52 workloads).
+fn mlc() -> Vec<W> {
+    let mut v: Vec<W> = Vec::new();
+    // Pointer chases across the latency/MLP plane.
+    for (fp_name, lines) in [("8m", 1u64 << 17), ("32m", 1 << 19), ("128m", 1 << 21), ("512m", 1 << 23)] {
+        for chains in [1u8, 2, 4, 8] {
+            v.push(Box::new(PointerChase::new(
+                format!("mlc.chase-{fp_name}-c{chains}"),
+                1,
+                lines,
+                chains,
+                OPS,
+            )));
+        }
+    }
+    // Sequential read streams.
+    for (threads, compute) in
+        [(1u32, 0u32), (1, 2), (1, 4), (1, 8), (8, 0), (8, 2), (8, 4), (8, 8), (2, 0), (2, 4), (16, 0), (16, 4)]
+    {
+        v.push(Box::new(StreamKernel::new(
+            format!("mlc.stream-{threads}t-c{compute}"),
+            threads,
+            2,
+            STREAM_ELEMS,
+            compute,
+            0,
+            stream_budget(2),
+        )));
+    }
+    // Strided reads.
+    for stride in [2u64, 4, 8, 16] {
+        for compute in [0u32, 4] {
+            v.push(Box::new(StridedRead::new(
+                format!("mlc.strided-s{stride}-c{compute}"),
+                1,
+                1 << 20,
+                stride,
+                compute,
+                OPS,
+            )));
+        }
+    }
+    // Store kernels: budgets cover the buffer exactly once (cold RFO per
+    // line), so touched bytes equal the footprint.
+    for (sz_name, bytes) in
+        [("4m", 4u64 << 20), ("8m", 8 << 20), ("16m", 16 << 20), ("32m", 32 << 20)]
+    {
+        v.push(Box::new(StoreKernel::new(
+            format!("mlc.memset-{sz_name}"),
+            1,
+            bytes,
+            StorePattern::Memset,
+            bytes / 8,
+        )));
+        v.push(Box::new(StoreKernel::new(
+            format!("mlc.memcpy-{sz_name}"),
+            1,
+            bytes,
+            StorePattern::Memcpy,
+            bytes / 8,
+        )));
+    }
+    // GUPS random access.
+    for (sz_name, lines) in [("64m", 1u64 << 20), ("256m", 1 << 22)] {
+        for dep in [0u8, 4] {
+            for store in [0u8, 50] {
+                v.push(Box::new(Gather::new(
+                    format!("mlc.gups-{sz_name}-d{dep}-w{store}"),
+                    1,
+                    lines,
+                    dep,
+                    store,
+                    0,
+                    false,
+                    OPS,
+                )));
+            }
+        }
+    }
+    v
+}
+
+/// SPEC CPU 2017 floating-point-style HPC kernels (23 workloads).
+fn spec_fp() -> Vec<W> {
+    let mut v: Vec<W> = Vec::new();
+    // 603.bwaves appears at 2, 8 and 10 threads (Figures 10, 11, 13).
+    for threads in [2u32, 8, 10] {
+        v.push(Box::new(StreamKernel::new(
+            format!("spec.603.bwaves-{threads}t"),
+            threads,
+            3,
+            STREAM_ELEMS,
+            1,
+            16,
+            stream_budget(3),
+        )));
+    }
+    // (name, arrays, compute, store_every). The 8-thread variants of the
+    // low-compute streams saturate DRAM read bandwidth (the paper's
+    // bandwidth-bound set); higher-compute entries stay latency-bound.
+    let presets: [(&str, u32, u32, u64); 10] = [
+        ("649.fotonik3d", 4, 1, 0),
+        ("654.roms", 3, 1, 16),
+        ("619.lbm", 2, 1, 8),
+        ("628.pop2", 4, 2, 16),
+        ("627.cam4", 3, 4, 16),
+        ("607.cactuBSSN", 5, 2, 0),
+        ("621.wrf", 4, 3, 16),
+        ("644.nab", 2, 8, 0),
+        ("638.imagick", 2, 6, 16),
+        ("511.povray", 1, 12, 0),
+    ];
+    for (name, arrays, compute, store_every) in presets {
+        for threads in [2u32, 8] {
+            v.push(Box::new(StreamKernel::new(
+                format!("spec.{name}-{threads}t"),
+                threads,
+                arrays,
+                STREAM_ELEMS,
+                compute,
+                store_every,
+                stream_budget(arrays),
+            )));
+        }
+    }
+    v
+}
+
+/// SPEC CPU 2017 integer-style composite kernels (20 workloads).
+fn spec_int() -> Vec<W> {
+    // (name, lines, seq, random, chase, compute).
+    let presets: [(&str, u64, u8, u8, u8, u32); 10] = [
+        ("505.mcf", 1 << 21, 20, 20, 50, 2),
+        ("520.omnetpp", 1 << 20, 25, 45, 20, 3),
+        ("523.xalancbmk", 1 << 19, 40, 30, 15, 4),
+        ("502.gcc", 1 << 18, 50, 25, 10, 6),
+        ("557.xz", 1 << 20, 60, 10, 5, 3),
+        ("500.perlbench", 1 << 15, 50, 25, 15, 8),
+        ("525.x264", 1 << 18, 70, 10, 0, 5),
+        ("531.deepsjeng", 1 << 16, 20, 60, 10, 6),
+        ("541.leela", 1 << 14, 25, 50, 15, 8),
+        ("548.exchange2", 1 << 12, 40, 30, 0, 12),
+    ];
+    let mut v: Vec<W> = Vec::new();
+    for (name, lines, seq, random, chase, compute) in presets {
+        for threads in [1u32, 4] {
+            v.push(mix(
+                &format!("spec.{name}-{threads}t"),
+                threads,
+                lines,
+                seq,
+                random,
+                chase,
+                compute,
+            ));
+        }
+    }
+    v
+}
+
+/// GAPBS graph-analytics workloads (36 workloads).
+/// Shape constructor selected by the `large` flag.
+type ShapeFor = fn(bool) -> GraphShape;
+
+fn gap() -> Vec<W> {
+    let mut v: Vec<W> = Vec::new();
+    let shapes: [(&str, ShapeFor); 4] = [
+        ("kron", |lg| GraphShape::Kron { scale: if lg { 18 } else { 16 }, degree: 16 }),
+        ("road", |lg| GraphShape::Road { side: if lg { 1024 } else { 512 } }),
+        ("urand", |lg| GraphShape::Urand { scale: if lg { 18 } else { 16 }, degree: 16 }),
+        ("twitter", |lg| GraphShape::TwitterLike { scale: if lg { 18 } else { 16 }, degree: 16 }),
+    ];
+    let algos = [
+        ("bfs", GraphAlgo::Bfs),
+        ("pr", GraphAlgo::Pr),
+        ("tc", GraphAlgo::Tc),
+        ("cc", GraphAlgo::Cc),
+    ];
+    for (shape_name, shape) in shapes {
+        for (algo_name, algo) in algos {
+            for large in [false, true] {
+                let suffix = if large { "-lg" } else { "" };
+                v.push(Box::new(GraphKernel::new(
+                    format!("gap.{algo_name}-{shape_name}{suffix}"),
+                    4,
+                    shape(large),
+                    algo,
+                    if algo == GraphAlgo::Tc { 600_000 } else { OPS },
+                )));
+            }
+        }
+    }
+    // SSSP on kron and road only (matching GAPBS's common configurations).
+    for (shape_name, shape) in [&shapes[0], &shapes[1]] {
+        for large in [false, true] {
+            let suffix = if large { "-lg" } else { "" };
+            v.push(Box::new(GraphKernel::new(
+                format!("gap.sssp-{shape_name}{suffix}"),
+                4,
+                shape(large),
+                GraphAlgo::Sssp,
+                OPS,
+            )));
+        }
+    }
+    v
+}
+
+/// PBBS benchmark-style workloads (16 workloads).
+fn pbbs() -> Vec<W> {
+    let mut v: Vec<W> = Vec::new();
+    for threads in [1u32, 4] {
+        let t = threads;
+        v.push(Box::new(TreePreset::range_query_2d(t)));
+        v.push(Box::new(StreamKernel::new(
+            format!("pbbs.convexHull-{t}t"),
+            t,
+            1,
+            STREAM_ELEMS,
+            4,
+            8,
+            stream_budget(1),
+        )));
+        v.push(mix(&format!("pbbs.sampleSort-{t}t"), t, 1 << 20, 50, 30, 0, 2));
+        v.push(Box::new(TreeLookupPreset::nn(t)));
+        v.push(Box::new(Gather::new(
+            format!("pbbs.rayCast-{t}t"),
+            t,
+            1 << 21,
+            2,
+            0,
+            4,
+            false,
+            OPS,
+        )));
+        v.push(Box::new(GraphKernel::new(
+            format!("pbbs.bfs-{t}t"),
+            t,
+            GraphShape::Urand { scale: 17, degree: 8 },
+            GraphAlgo::Bfs,
+            OPS,
+        )));
+        v.push(Box::new(HashProbe::new(
+            format!("pbbs.wordCounts-{t}t"),
+            t,
+            1 << 18,
+            1,
+            30,
+            true,
+            2,
+            OPS,
+        )));
+        v.push(mix(&format!("pbbs.suffixArray-{t}t"), t, 1 << 21, 40, 40, 10, 1));
+    }
+    v
+}
+
+// Helper newtypes so pbbs() stays readable.
+struct TreePreset;
+impl TreePreset {
+    fn range_query_2d(threads: u32) -> crate::kernels::tree::TreeLookup {
+        crate::kernels::tree::TreeLookup::new(
+            format!("pbbs.rangeQuery2d-{threads}t"),
+            threads,
+            5,
+            1 << 20,
+            2,
+            2,
+            OPS,
+        )
+    }
+}
+struct TreeLookupPreset;
+impl TreeLookupPreset {
+    fn nn(threads: u32) -> crate::kernels::tree::TreeLookup {
+        crate::kernels::tree::TreeLookup::new(
+            format!("pbbs.nn-{threads}t"),
+            threads,
+            4,
+            1 << 19,
+            4,
+            3,
+            OPS,
+        )
+    }
+}
+
+/// PARSEC-style workloads (20 workloads).
+fn parsec() -> Vec<W> {
+    let mut v: Vec<W> = Vec::new();
+    for threads in [1u32, 8] {
+        let t = threads;
+        v.push(Box::new(Gather::new(
+            format!("parsec.canneal-{t}t"),
+            t,
+            1 << 21,
+            0,
+            20,
+            2,
+            false,
+            OPS,
+        )));
+        v.push(Box::new(StreamKernel::new(
+            format!("parsec.streamcluster-{t}t"),
+            t,
+            2,
+            STREAM_ELEMS,
+            3,
+            0,
+            stream_budget(2),
+        )));
+        v.push(Box::new(StreamKernel::new(
+            format!("parsec.fluidanimate-{t}t"),
+            t,
+            4,
+            STREAM_ELEMS / 2,
+            4,
+            2,
+            stream_budget(4) / 2,
+        )));
+        v.push(Box::new(HashProbe::new(
+            format!("parsec.dedup-{t}t"),
+            t,
+            1 << 19,
+            2,
+            40,
+            false,
+            3,
+            OPS,
+        )));
+        v.push(mix(&format!("parsec.ferret-{t}t"), t, 1 << 19, 30, 40, 20, 4));
+        v.push(Box::new(StreamKernel::new(
+            format!("parsec.blackscholes-{t}t"),
+            t,
+            3,
+            STREAM_ELEMS / 2,
+            10,
+            0,
+            stream_budget(3) / 2,
+        )));
+        v.push(mix(&format!("parsec.bodytrack-{t}t"), t, 1 << 17, 50, 30, 0, 6));
+        v.push(Box::new(StreamKernel::new(
+            format!("parsec.facesim-{t}t"),
+            t,
+            5,
+            STREAM_ELEMS / 2,
+            5,
+            3,
+            stream_budget(5) / 2,
+        )));
+        v.push(Box::new(HashProbe::new(
+            format!("parsec.freqmine-{t}t"),
+            t,
+            1 << 18,
+            3,
+            10,
+            true,
+            2,
+            OPS,
+        )));
+        v.push(mix(&format!("parsec.swaptions-{t}t"), t, 1 << 14, 60, 20, 0, 10));
+    }
+    v
+}
+
+/// XSbench-style cross-section lookup workloads (8 workloads).
+fn xsbench() -> Vec<W> {
+    let mut v: Vec<W> = Vec::new();
+    for (size_name, lines) in [("sm", 1u64 << 21), ("lg", 1 << 23)] {
+        for threads in [1u32, 8] {
+            v.push(Box::new(Gather::new(
+                format!("xs.lookup-{size_name}-{threads}t"),
+                threads,
+                lines,
+                0,
+                0,
+                5,
+                false,
+                OPS,
+            )));
+            v.push(Box::new(Gather::new(
+                format!("xs.unionized-{size_name}-{threads}t"),
+                threads,
+                lines,
+                0,
+                0,
+                3,
+                true,
+                OPS,
+            )));
+        }
+    }
+    v
+}
+
+/// Cloud workloads: Redis, VoltDB, Spark, YCSB (38 workloads).
+fn cloud() -> Vec<W> {
+    let mut v: Vec<W> = Vec::new();
+    // Redis-style KV operations (10).
+    for (size_name, buckets) in [("sm", 1u64 << 18), ("lg", 1 << 20)] {
+        v.push(Box::new(HashProbe::new(
+            format!("redis.get-{size_name}"),
+            2,
+            buckets,
+            1,
+            0,
+            true,
+            2,
+            OPS,
+        )));
+        v.push(Box::new(HashProbe::new(
+            format!("redis.set-{size_name}"),
+            2,
+            buckets,
+            1,
+            90,
+            true,
+            2,
+            OPS,
+        )));
+        v.push(Box::new(HashProbe::new(
+            format!("redis.mixed-{size_name}"),
+            2,
+            buckets,
+            1,
+            30,
+            true,
+            2,
+            OPS,
+        )));
+        v.push(Box::new(StreamKernel::new(
+            format!("redis.scan-{size_name}"),
+            2,
+            1,
+            buckets,
+            1,
+            0,
+            buckets * 2,
+        )));
+        v.push(Box::new(HashProbe::new(
+            format!("redis.zipf-get-{size_name}"),
+            2,
+            buckets,
+            2,
+            0,
+            true,
+            2,
+            OPS,
+        )));
+    }
+    // VoltDB-style OLTP mixes (6).
+    for (size_name, lines) in [("sm", 1u64 << 19), ("lg", 1 << 21)] {
+        v.push(mix(&format!("voltdb.read-heavy-{size_name}"), 4, lines, 20, 55, 15, 3));
+        v.push(mix(&format!("voltdb.write-heavy-{size_name}"), 4, lines, 20, 35, 10, 3));
+        v.push(mix(&format!("voltdb.balanced-{size_name}"), 4, lines, 30, 40, 10, 3));
+    }
+    // Spark-style analytics (10).
+    for threads in [4u32, 8] {
+        let t = threads;
+        v.push(mix(&format!("spark.sort-{t}t"), t, 1 << 20, 60, 15, 0, 2));
+        v.push(Box::new(HashProbe::new(
+            format!("spark.groupby-{t}t"),
+            t,
+            1 << 19,
+            1,
+            50,
+            false,
+            2,
+            OPS,
+        )));
+        v.push(Box::new(HashProbe::new(
+            format!("spark.join-{t}t"),
+            t,
+            1 << 20,
+            2,
+            20,
+            false,
+            2,
+            OPS,
+        )));
+        v.push(Box::new(StreamKernel::new(
+            format!("spark.scan-{t}t"),
+            t,
+            1,
+            1 << 20,
+            2,
+            0,
+            1 << 21,
+        )));
+        v.push(Box::new(HashProbe::new(
+            format!("spark.wordcount-{t}t"),
+            t,
+            1 << 18,
+            1,
+            40,
+            true,
+            3,
+            OPS,
+        )));
+    }
+    // YCSB core workloads (12).
+    for (size_name, buckets) in [("sm", 1u64 << 18), ("lg", 1 << 20)] {
+        v.push(Box::new(HashProbe::new(
+            format!("ycsb.a-{size_name}"),
+            2,
+            buckets,
+            1,
+            50,
+            true,
+            1,
+            OPS,
+        )));
+        v.push(Box::new(HashProbe::new(
+            format!("ycsb.b-{size_name}"),
+            2,
+            buckets,
+            1,
+            5,
+            true,
+            1,
+            OPS,
+        )));
+        v.push(Box::new(HashProbe::new(
+            format!("ycsb.c-{size_name}"),
+            2,
+            buckets,
+            1,
+            0,
+            true,
+            1,
+            OPS,
+        )));
+        v.push(Box::new(HashProbe::new(
+            format!("ycsb.d-{size_name}"),
+            2,
+            buckets,
+            1,
+            5,
+            false,
+            1,
+            OPS,
+        )));
+        v.push(Box::new(StreamKernel::new(
+            format!("ycsb.e-{size_name}"),
+            2,
+            1,
+            buckets,
+            1,
+            16,
+            buckets * 2,
+        )));
+        v.push(Box::new(Gather::new(
+            format!("ycsb.f-{size_name}"),
+            2,
+            buckets,
+            0,
+            50,
+            1,
+            true,
+            OPS,
+        )));
+    }
+    v
+}
+
+/// AI inference/training workloads (16 workloads).
+fn ai() -> Vec<W> {
+    let mut v: Vec<W> = Vec::new();
+    // Llama: prefill is bandwidth-bound weight streaming; decode is bursty.
+    for (model, fp_lines) in [("7b", 1u64 << 20), ("13b", 1 << 21), ("30b", 1 << 22)] {
+        // Prefill sweeps the weights at full issue rate; decode streams
+        // them once per token with long compute phases in between. Burst
+        // counts cover the footprint (~2 passes for prefill, ~1 for
+        // decode) so touched bytes equal the footprint.
+        v.push(Box::new(BurstKernel::new(
+            format!("ai.llama-{model}-prefill"),
+            8,
+            50,
+            4096,
+            fp_lines,
+            fp_lines * 2 / 4096,
+            false,
+        )));
+        v.push(Box::new(BurstKernel::new(
+            format!("ai.llama-{model}-decode"),
+            4,
+            2000,
+            512,
+            fp_lines,
+            fp_lines / 512,
+            false,
+        )));
+    }
+    v.push(Box::new(BurstKernel::new(
+        "ai.llama-70b-decode",
+        4,
+        2000,
+        768,
+        1 << 22,
+        (1u64 << 22) / 768,
+        false,
+    )));
+    // GPT-2: low access intensity (low MPKI) but serialised accesses, so it
+    // is latency-sensitive despite looking "cold" to hotness metrics.
+    v.push(Box::new(BurstKernel::new("ai.gpt2-prefill", 2, 200, 1024, 1 << 18, 512, false)));
+    v.push(Box::new(Gather::new("ai.gpt2-decode", 1, 1 << 21, 2, 0, 20, false, 120_000)));
+    // DLRM: embedding gathers.
+    v.push(Box::new(Gather::new("ai.dlrm-inference", 4, 1 << 23, 0, 0, 4, true, OPS)));
+    v.push(Box::new(Gather::new("ai.dlrm-training", 4, 1 << 23, 0, 30, 4, true, OPS)));
+    // MLPerf-style inference.
+    v.push(Box::new(StreamKernel::new(
+        "ai.mlperf-resnet",
+        8,
+        2,
+        STREAM_ELEMS,
+        8,
+        0,
+        stream_budget(2),
+    )));
+    v.push(Box::new(BurstKernel::new("ai.mlperf-bert", 8, 500, 2048, 1 << 19, 512, false)));
+    v.push(Box::new(StreamKernel::new(
+        "ai.mlperf-ssd",
+        4,
+        3,
+        STREAM_ELEMS / 2,
+        6,
+        0,
+        stream_budget(3) / 2,
+    )));
+    // WMT20 translation (bandwidth-bound in Figure 9).
+    for threads in [4u32, 8] {
+        v.push(Box::new(StreamKernel::new(
+            format!("ai.wmt20-{threads}t"),
+            threads,
+            3,
+            STREAM_ELEMS,
+            1,
+            2,
+            stream_budget(3),
+        )));
+    }
+    v
+}
+
+/// Phoronix-test-suite-style workloads (20 workloads).
+fn phoronix() -> Vec<W> {
+    let mut v: Vec<W> = Vec::new();
+    for threads in [1u32, 4] {
+        let t = threads;
+        v.push(mix(&format!("phx.compress-7zip-{t}t"), t, 1 << 19, 40, 30, 10, 3));
+        v.push(mix(&format!("phx.openssl-{t}t"), t, 1 << 12, 80, 5, 0, 10));
+        v.push(Box::new(crate::kernels::tree::TreeLookup::new(
+            format!("phx.sqlite-{t}t"),
+            t,
+            4,
+            1 << 18,
+            2,
+            3,
+            OPS,
+        )));
+        v.push(Box::new(HashProbe::new(
+            format!("phx.nginx-{t}t"),
+            t,
+            1 << 16,
+            1,
+            10,
+            true,
+            5,
+            OPS,
+        )));
+        v.push(mix(&format!("phx.build-llvm-{t}t"), t, 1 << 18, 45, 30, 10, 5));
+        v.push(Box::new(StreamKernel::new(
+            format!("phx.ffmpeg-{t}t"),
+            t,
+            2,
+            STREAM_ELEMS / 2,
+            6,
+            4,
+            stream_budget(2) / 2,
+        )));
+        v.push(Box::new(StridedRead::new(
+            format!("phx.scimark-fft-{t}t"),
+            t,
+            1 << 19,
+            8,
+            2,
+            OPS,
+        )));
+        v.push(mix(&format!("phx.scimark-mc-{t}t"), t, 1 << 18, 10, 70, 0, 4));
+        v.push(Box::new(Gather::new(
+            format!("phx.stress-ng-vm-{t}t"),
+            t,
+            1 << 21,
+            0,
+            30,
+            0,
+            false,
+            OPS,
+        )));
+        v.push(Box::new(StreamKernel::new(
+            format!("phx.cachebench-{t}t"),
+            t,
+            1,
+            STREAM_ELEMS,
+            0,
+            0,
+            stream_budget(1),
+        )));
+    }
+    v
+}
+
+/// Database operator workloads (16 workloads).
+fn db() -> Vec<W> {
+    let mut v: Vec<W> = Vec::new();
+    for (size_name, lines) in [("sm", 1u64 << 19), ("lg", 1 << 21)] {
+        v.push(Box::new(HashProbe::new(
+            format!("db.hash_join-{size_name}"),
+            4,
+            lines,
+            1,
+            0,
+            false,
+            1,
+            OPS,
+        )));
+        v.push(mix(&format!("db.sort_merge-{size_name}"), 4, lines, 70, 5, 0, 2));
+        v.push(Box::new(crate::kernels::tree::TreeLookup::new(
+            format!("db.index_scan-{size_name}"),
+            4,
+            3,
+            lines / 4,
+            4,
+            2,
+            OPS,
+        )));
+        v.push(Box::new(StreamKernel::new(
+            format!("db.seq_scan-{size_name}"),
+            4,
+            1,
+            lines,
+            3,
+            0,
+            lines * 2,
+        )));
+        v.push(Box::new(HashProbe::new(
+            format!("db.groupby-{size_name}"),
+            4,
+            lines / 4,
+            1,
+            60,
+            true,
+            2,
+            OPS,
+        )));
+        v.push(Box::new(crate::kernels::tree::TreeLookup::new(
+            format!("db.btree_lookup-{size_name}"),
+            1,
+            5,
+            lines,
+            1,
+            1,
+            OPS / 2,
+        )));
+        v.push(Box::new(HashProbe::new(
+            format!("db.btree_insert-{size_name}"),
+            1,
+            lines / 4,
+            4,
+            80,
+            false,
+            1,
+            OPS,
+        )));
+        v.push(Box::new(StridedRead::new(
+            format!("db.bitmap_scan-{size_name}"),
+            4,
+            lines,
+            4,
+            1,
+            OPS,
+        )));
+    }
+    v
+}
+
+/// Builds the full 265-workload suite.
+///
+/// # Example
+///
+/// ```
+/// let suite = camp_workloads::suite();
+/// assert_eq!(suite.len(), 265);
+/// ```
+pub fn suite() -> Vec<W> {
+    let mut v = Vec::with_capacity(265);
+    v.extend(mlc());
+    v.extend(spec_fp());
+    v.extend(spec_int());
+    v.extend(gap());
+    v.extend(pbbs());
+    v.extend(parsec());
+    v.extend(xsbench());
+    v.extend(cloud());
+    v.extend(ai());
+    v.extend(phoronix());
+    v.extend(db());
+    v
+}
+
+/// Looks up a suite workload by exact name.
+pub fn find(name: &str) -> Option<W> {
+    suite().into_iter().find(|w| w.name() == name)
+}
+
+/// Per-family workload counts (`(family prefix, count)`), in suite order —
+/// the composition summary behind the "265 workloads" headline.
+pub fn families() -> Vec<(String, usize)> {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for workload in suite() {
+        let family = workload
+            .name()
+            .split('.')
+            .next()
+            .expect("names are family-prefixed")
+            .to_string();
+        match counts.last_mut() {
+            Some((name, count)) if *name == family => *count += 1,
+            _ => counts.push((family, 1)),
+        }
+    }
+    counts
+}
+
+/// The eight bandwidth-bound workloads used for the Best-shot policy
+/// comparison (§6.2 / Figure 15): SPEC-fp streams plus Llama prefill.
+pub fn bestshot_workloads() -> Vec<W> {
+    [
+        "spec.603.bwaves-8t",
+        "spec.649.fotonik3d-8t",
+        "spec.654.roms-8t",
+        "spec.619.lbm-8t",
+        "spec.628.pop2-8t",
+        "spec.607.cactuBSSN-8t",
+        "ai.llama-7b-prefill",
+        "ai.llama-13b-prefill",
+    ]
+    .iter()
+    .map(|name| find(name).expect("bestshot workload in suite"))
+    .collect()
+}
+
+/// Twenty bandwidth-leaning workloads used for the interleaving-accuracy
+/// evaluation (§5.4 / Figure 14).
+pub fn interleaving_workloads() -> Vec<W> {
+    [
+        "spec.603.bwaves-8t",
+        "spec.603.bwaves-10t",
+        "spec.649.fotonik3d-8t",
+        "spec.654.roms-8t",
+        "spec.619.lbm-8t",
+        "spec.628.pop2-8t",
+        "spec.627.cam4-8t",
+        "spec.607.cactuBSSN-8t",
+        "spec.621.wrf-8t",
+        "spec.638.imagick-8t",
+        "ai.llama-7b-prefill",
+        "ai.llama-13b-prefill",
+        "ai.llama-30b-prefill",
+        "ai.wmt20-4t",
+        "ai.wmt20-8t",
+        "ai.mlperf-resnet",
+        "mlc.stream-8t-c0",
+        "mlc.stream-8t-c2",
+        "spark.scan-8t",
+        "parsec.facesim-8t",
+    ]
+    .iter()
+    .map(|name| find(name).expect("interleaving workload in suite"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn suite_has_exactly_265_workloads() {
+        assert_eq!(suite().len(), 265);
+    }
+
+    #[test]
+    fn names_are_unique_and_family_prefixed() {
+        let mut names = HashSet::new();
+        for w in suite() {
+            assert!(names.insert(w.name().to_string()), "duplicate {}", w.name());
+            assert!(
+                w.name().contains('.'),
+                "{} lacks a family prefix",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_workload_has_positive_footprint_and_ops() {
+        for w in suite() {
+            assert!(w.footprint_bytes() > 0, "{} empty footprint", w.name());
+            assert!(w.threads() >= 1, "{} zero threads", w.name());
+            let first = w.ops().next();
+            assert!(first.is_some(), "{} has no ops", w.name());
+        }
+    }
+
+    #[test]
+    fn find_locates_paper_named_workloads() {
+        for name in [
+            "spec.603.bwaves-8t",
+            "spec.654.roms-8t",
+            "spec.557.xz-1t",
+            "gap.tc-kron",
+            "gap.tc-road",
+            "gap.pr-twitter",
+            "ai.gpt2-decode",
+            "ai.wmt20-8t",
+            "pbbs.rangeQuery2d-1t",
+        ] {
+            assert!(find(name).is_some(), "{name} missing from suite");
+        }
+        assert!(find("no.such-workload").is_none());
+    }
+
+    #[test]
+    fn bestshot_set_has_eight_entries() {
+        assert_eq!(bestshot_workloads().len(), 8);
+    }
+
+    #[test]
+    fn interleaving_set_has_twenty_entries() {
+        assert_eq!(interleaving_workloads().len(), 20);
+    }
+
+    #[test]
+    fn family_counts_sum_to_the_suite() {
+        let families = families();
+        let total: usize = families.iter().map(|(_, count)| count).sum();
+        assert_eq!(total, 265);
+        // The major suites of §4.4.2 are all represented.
+        let names: Vec<&str> = families.iter().map(|(name, _)| name.as_str()).collect();
+        for expected in ["mlc", "spec", "gap", "pbbs", "parsec", "xs", "redis", "ai", "phx", "db"] {
+            assert!(names.contains(&expected), "missing family {expected}");
+        }
+    }
+
+    #[test]
+    fn suite_spans_thread_counts() {
+        let threads: HashSet<u32> = suite().iter().map(|w| w.threads()).collect();
+        for t in [1u32, 2, 4, 8] {
+            assert!(threads.contains(&t), "no {t}-thread workloads");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: predict a workload's CXL slowdown from a DRAM-only run.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload-name]
+//! ```
+//!
+//! Calibrates CAMP once for (SPR, CXL-A), profiles the workload on DRAM,
+//! predicts its CXL slowdown per component, and then validates against an
+//! actual CXL run — which a production deployment would never need.
+
+use camp::model::{Calibration, CampPredictor, MeasuredComponents};
+use camp::sim::{DeviceKind, Machine, Platform};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "spec.505.mcf-1t".to_string());
+    let workload = camp::workloads::find(&name).unwrap_or_else(|| {
+        eprintln!("workload '{name}' not in the suite; try e.g. spec.505.mcf-1t");
+        std::process::exit(1);
+    });
+    let platform = Platform::Spr2s;
+    let device = DeviceKind::CxlA;
+
+    println!("calibrating CAMP for {platform} + {device} (one-time)...");
+    let predictor = CampPredictor::new(Calibration::fit(platform, device));
+
+    println!("profiling {name} on DRAM...");
+    let dram = Machine::dram_only(platform).run(&workload);
+    let prediction = predictor.predict_report(&dram);
+    println!("\npredicted {device} slowdown (from DRAM counters only):");
+    println!("  demand reads : {:+.1}%", prediction.drd * 100.0);
+    println!("  cache/prefetch: {:+.1}%", prediction.cache * 100.0);
+    println!("  stores       : {:+.1}%", prediction.store * 100.0);
+    println!(
+        "  total        : {:+.1}%  (with saturation floor: {:+.1}%)",
+        prediction.total() * 100.0,
+        predictor.predict_total_saturated(&dram) * 100.0
+    );
+
+    println!("\nvalidating against an actual {device} run...");
+    let slow = Machine::slow_only(platform, device).run(&workload);
+    let measured = MeasuredComponents::attribute(&dram, &slow);
+    println!(
+        "  measured     : {:+.1}% (DRd {:+.1}%, Cache {:+.1}%, Store {:+.1}%)",
+        measured.total * 100.0,
+        measured.drd * 100.0,
+        measured.cache * 100.0,
+        measured.store * 100.0
+    );
+    let error = (predictor.predict_total_saturated(&dram) - measured.total).abs();
+    println!("  absolute error: {:.1} percentage points", error * 100.0);
+}

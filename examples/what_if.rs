@@ -1,0 +1,46 @@
+//! What-if capacity planning: from a single DRAM profiling run, forecast
+//! a workload's slowdown on every slow tier the fleet offers — the
+//! "placement decision at job-submission time" use case of §3.
+//!
+//! ```text
+//! cargo run --release --example what_if [workload-name]
+//! ```
+
+use camp::model::{Calibration, CampPredictor};
+use camp::sim::{DeviceKind, Machine, Platform};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "redis.zipf-get-lg".to_string());
+    let workload = camp::workloads::find(&name).unwrap_or_else(|| {
+        eprintln!("workload '{name}' not in the suite");
+        std::process::exit(1);
+    });
+    let platform = Platform::Spr2s;
+
+    // One DRAM profiling run...
+    let dram = Machine::dram_only(platform).run(&workload);
+    println!(
+        "{name}: profiled once on {platform} DRAM ({:.2}s simulated, IPC {:.2})",
+        dram.seconds,
+        dram.ipc()
+    );
+
+    // ...answers the what-if question for every candidate tier.
+    println!("\n{:<8} {:>12} {:>12} {:>12}", "tier", "predicted", "actual", "error");
+    for device in DeviceKind::SLOW_TIERS {
+        let predictor = CampPredictor::new(Calibration::fit(platform, device));
+        let predicted = predictor.predict_total_saturated(&dram);
+        // Validation runs (a deployment would skip these).
+        let actual = Machine::slow_only(platform, device)
+            .run(&workload)
+            .slowdown_vs(&dram);
+        println!(
+            "{:<8} {:>11.1}% {:>11.1}% {:>11.1}pp",
+            device.name(),
+            predicted * 100.0,
+            actual * 100.0,
+            (predicted - actual).abs() * 100.0
+        );
+    }
+    println!("\n(Calibration is per-device but one-time; the workload itself ran only on DRAM.)");
+}

@@ -1,0 +1,113 @@
+//! End-to-end interleaving gates: the synthesis model must reproduce the
+//! measured curve shapes (bathtub for bandwidth-bound, monotone for
+//! latency-bound) and Best-shot must land near the oracle optimum.
+
+use camp::model::interleave::{best_shot, classify, Boundness, InterleaveModel, DEFAULT_TAU};
+use camp::model::{Calibration, CampPredictor};
+use camp::sim::{DeviceKind, Machine, Platform};
+
+const PLATFORM: Platform = Platform::Skx2s;
+const DEVICE: DeviceKind = DeviceKind::CxlA;
+
+fn predictor() -> CampPredictor {
+    CampPredictor::new(Calibration::fit(PLATFORM, DEVICE))
+}
+
+#[test]
+fn bandwidth_bound_stream_classifies_and_bathtubs() {
+    let predictor = predictor();
+    let workload = camp::workloads::find("spec.603.bwaves-8t").expect("in suite");
+    let dram = Machine::dram_only(PLATFORM).run(&workload);
+    assert_eq!(classify(&dram, DEFAULT_TAU), Boundness::BandwidthBound);
+
+    let model = InterleaveModel::profile(PLATFORM, DEVICE, &workload, &predictor, DEFAULT_TAU);
+    assert_eq!(model.profiling_runs, 2);
+    let choice = best_shot(&model);
+    assert!(
+        choice.ratio > 0.4 && choice.ratio < 1.0,
+        "interior optimum expected, got {}",
+        choice.ratio
+    );
+    assert!(choice.predicted_slowdown < 0.0, "predicted speedup expected");
+
+    // The chosen ratio must actually beat DRAM-only.
+    let chosen = Machine::interleaved(PLATFORM, DEVICE, choice.ratio).run(&workload);
+    assert!(
+        chosen.slowdown_vs(&dram) < 0.0,
+        "measured {:+.3} at ratio {:.2}",
+        chosen.slowdown_vs(&dram),
+        choice.ratio
+    );
+}
+
+#[test]
+fn latency_bound_chase_classifies_and_stays_on_dram() {
+    let predictor = predictor();
+    let workload = camp::workloads::find("mlc.chase-128m-c1").expect("in suite");
+    let dram = Machine::dram_only(PLATFORM).run(&workload);
+    assert_eq!(classify(&dram, DEFAULT_TAU), Boundness::LatencyBound);
+
+    let model = InterleaveModel::profile(PLATFORM, DEVICE, &workload, &predictor, DEFAULT_TAU);
+    assert_eq!(model.profiling_runs, 1, "latency-bound path needs one run");
+    let choice = best_shot(&model);
+    assert_eq!(choice.ratio, 1.0, "nothing to gain from the slow tier");
+    // And the curve is monotone: more DRAM never hurts.
+    let curve = model.curve(10);
+    for pair in curve.windows(2) {
+        assert!(pair[0].1 >= pair[1].1 - 1e-9, "curve not monotone: {curve:?}");
+    }
+}
+
+#[test]
+fn synthesized_curve_tracks_measurement() {
+    let predictor = predictor();
+    let workload = camp::workloads::find("spec.654.roms-8t").expect("in suite");
+    let model = InterleaveModel::profile(PLATFORM, DEVICE, &workload, &predictor, DEFAULT_TAU);
+    let baseline = Machine::dram_only(PLATFORM).run(&workload);
+    let mut max_err = 0.0f64;
+    for i in 0..=5 {
+        let x = i as f64 / 5.0;
+        let actual = Machine::interleaved(PLATFORM, DEVICE, x)
+            .run(&workload)
+            .slowdown_vs(&baseline);
+        max_err = max_err.max((model.predict_total(x) - actual).abs());
+    }
+    assert!(max_err < 0.20, "max curve error {max_err}");
+}
+
+#[test]
+fn endpoint_predictions_are_exact_for_two_run_models() {
+    let workload = camp::workloads::find("ai.wmt20-8t").expect("in suite");
+    let dram = Machine::dram_only(PLATFORM).run(&workload);
+    let slow = Machine::slow_only(PLATFORM, DEVICE).run(&workload);
+    let model = InterleaveModel::from_endpoint_runs(&dram, &slow);
+    // x = 1 recovers zero slowdown by construction.
+    assert!(model.predict_total(1.0).abs() < 1e-9);
+    // x = 0 recovers the measured endpoint component stalls.
+    let measured = camp::model::MeasuredComponents::attribute(&dram, &slow);
+    let predicted = model.predict_total(0.0);
+    assert!(
+        (predicted - measured.component_sum()).abs() < 1e-6,
+        "endpoint mismatch: {predicted} vs {}",
+        measured.component_sum()
+    );
+}
+
+#[test]
+fn mlp_is_invariant_across_ratios() {
+    // The §5.2.1 invariant the whole synthesis model rests on.
+    let workload = camp::workloads::find("spec.603.bwaves-8t").expect("in suite");
+    let mut mlps = Vec::new();
+    for x in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let report = Machine::interleaved(PLATFORM, DEVICE, x).run(&workload);
+        if let Some(mlp) = report.mlp() {
+            mlps.push(mlp);
+        }
+    }
+    let min = mlps.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = mlps.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max / min < 1.30,
+        "MLP varies too much across ratios: {mlps:?}"
+    );
+}
