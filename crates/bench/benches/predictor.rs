@@ -1,9 +1,13 @@
-//! Criterion benches for the CAMP models themselves: the runtime cost a
-//! deployment pays per prediction (the paper stresses that reading the
-//! counters and evaluating the closed forms is negligible next to any
-//! execution).
+//! Benches for the CAMP models themselves: the runtime cost a deployment
+//! pays per prediction (the paper stresses that reading the counters and
+//! evaluating the closed forms is negligible next to any execution).
+//!
+//! Run with `cargo bench --bench predictor`; append `-- --json PATH` for a
+//! machine-readable snapshot.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+#[path = "tb.rs"]
+mod tb;
+
 use camp_core::interleave::{best_shot, InterleaveModel};
 use camp_core::{stats, Calibration, CampPredictor, Signature};
 use camp_sim::{DeviceKind, Machine, Platform, Workload};
@@ -17,45 +21,38 @@ fn cheap_calibration() -> Calibration {
     Calibration::fit_with(Platform::Spr2s, DeviceKind::CxlA, &probes)
 }
 
-fn prediction_path(c: &mut Criterion) {
+fn prediction_path(harness: &mut tb::Harness) {
     let predictor = CampPredictor::new(cheap_calibration());
     let workload = camp_workloads::find("spec.505.mcf-1t").expect("in suite");
     let report = Machine::dram_only(Platform::Spr2s).run(&workload);
 
-    c.bench_function("signature-extraction", |b| {
-        b.iter(|| Signature::from_report(&report))
-    });
-    c.bench_function("slowdown-prediction", |b| {
-        b.iter(|| predictor.predict(&report.counters))
-    });
-    c.bench_function("saturated-prediction", |b| {
-        b.iter(|| predictor.predict_total_saturated(&report))
-    });
+    harness.bench("signature-extraction", 10, 1_000, || Signature::from_report(&report));
+    harness.bench("slowdown-prediction", 10, 1_000, || predictor.predict(&report.counters));
+    harness.bench("saturated-prediction", 10, 1_000, || predictor.predict_total_saturated(&report));
 }
 
-fn interleave_path(c: &mut Criterion) {
-    let predictor = CampPredictor::new(cheap_calibration());
+fn interleave_path(harness: &mut tb::Harness) {
     let workload = camp_workloads::find("spec.603.bwaves-8t").expect("in suite");
     let dram = Machine::dram_only(Platform::Skx2s).run(&workload);
     let slow = Machine::slow_only(Platform::Skx2s, DeviceKind::CxlA).run(&workload);
     let model = InterleaveModel::from_endpoint_runs(&dram, &slow);
-    let _ = &predictor;
 
-    c.bench_function("interleave-curve-101", |b| b.iter(|| model.curve(100)));
-    c.bench_function("best-shot-selection", |b| b.iter(|| best_shot(&model)));
+    harness.bench("interleave-curve-101", 10, 100, || model.curve(100));
+    harness.bench("best-shot-selection", 10, 100, || best_shot(&model));
 }
 
-fn fitting_path(c: &mut Criterion) {
-    c.bench_function("calibration-fit-2-probes", |b| b.iter(cheap_calibration));
+fn fitting_path(harness: &mut tb::Harness) {
+    harness.bench("calibration-fit-2-probes", 10, 1, cheap_calibration);
     // Suite-scale Pearson, the Table 1/6 aggregation primitive.
     let xs: Vec<f64> = (0..265).map(|i| (i as f64 * 0.37).sin() + 1.5).collect();
     let ys: Vec<f64> = xs.iter().map(|v| v * 1.3 + 0.1).collect();
-    c.bench_function("pearson-265", |b| b.iter(|| stats::pearson(&xs, &ys)));
+    harness.bench("pearson-265", 10, 10_000, || stats::pearson(&xs, &ys));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = prediction_path, interleave_path, fitting_path
+fn main() {
+    let mut harness = tb::Harness::new();
+    prediction_path(&mut harness);
+    interleave_path(&mut harness);
+    fitting_path(&mut harness);
+    harness.maybe_write_json().expect("snapshot written");
 }
-criterion_main!(benches);

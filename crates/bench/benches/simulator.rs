@@ -1,9 +1,15 @@
-//! Criterion benches for the simulation substrate: op throughput across
-//! workload shapes and machine configurations. These quantify the cost of
-//! regenerating the paper's experiments (every figure is some number of
-//! these runs).
+//! Benches for the simulation substrate: op throughput across workload
+//! shapes and machine configurations, plus the parallel-harness suite
+//! throughput (these quantify the cost of regenerating the paper's
+//! experiments — every figure is some number of these runs).
+//!
+//! Run with `cargo bench --bench simulator`; append `-- --json PATH` to
+//! archive a machine-readable snapshot (see `BENCH_harness.json`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+#[path = "tb.rs"]
+mod tb;
+
+use camp_bench::par;
 use camp_sim::{DeviceKind, Machine, Platform, Workload};
 use camp_workloads::kernels::{Gather, PointerChase, StoreKernel, StorePattern, StreamKernel};
 
@@ -24,47 +30,79 @@ fn workloads() -> Vec<(&'static str, Box<dyn Workload>)> {
     ]
 }
 
-fn engine_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine-dram");
-    group.throughput(Throughput::Elements(OPS));
-    for (name, workload) in workloads() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &workload, |b, w| {
-            let machine = Machine::dram_only(Platform::Spr2s);
-            b.iter(|| machine.run(w.as_ref()));
-        });
-    }
-    group.finish();
-}
-
-fn engine_tiered_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine-interleaved");
-    group.throughput(Throughput::Elements(OPS));
-    for (name, workload) in workloads() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &workload, |b, w| {
-            let machine = Machine::interleaved(Platform::Spr2s, DeviceKind::CxlA, 0.7);
-            b.iter(|| machine.run(w.as_ref()));
-        });
-    }
-    group.finish();
-}
-
-fn suite_generation(c: &mut Criterion) {
-    c.bench_function("suite-construction", |b| {
-        b.iter(|| {
-            let suite = camp_workloads::suite();
-            assert_eq!(suite.len(), 265);
-            suite
+/// A fixed kernel mix standing in for a suite shard: one instance of each
+/// shape per slot, distinct names so nothing hits a cache.
+fn suite_mix(slots: usize) -> Vec<Box<dyn Workload>> {
+    (0..slots)
+        .flat_map(|i| {
+            let tag = |base: &str| format!("{base}-{i}");
+            vec![
+                Box::new(PointerChase::new(tag("mix-chase"), 1, 1 << 16, 2, OPS / 4))
+                    as Box<dyn Workload>,
+                Box::new(Gather::new(tag("mix-gups"), 1, 1 << 16, 0, 10, 0, false, OPS / 4)),
+                Box::new(StreamKernel::new(tag("mix-stream"), 4, 2, 1 << 15, 2, 0, OPS / 4)),
+                Box::new(StoreKernel::new(
+                    tag("mix-memset"),
+                    1,
+                    1 << 20,
+                    StorePattern::Memset,
+                    OPS / 4,
+                )),
+            ]
         })
+        .collect()
+}
+
+fn engine_throughput(harness: &mut tb::Harness) {
+    for (name, workload) in workloads() {
+        let machine = Machine::dram_only(Platform::Spr2s);
+        harness.bench_throughput(&format!("engine-dram/{name}"), OPS, 10, 1, || {
+            machine.run(workload.as_ref())
+        });
+    }
+}
+
+fn engine_tiered_throughput(harness: &mut tb::Harness) {
+    for (name, workload) in workloads() {
+        let machine = Machine::interleaved(Platform::Spr2s, DeviceKind::CxlA, 0.7);
+        harness.bench_throughput(&format!("engine-interleaved/{name}"), OPS, 10, 1, || {
+            machine.run(workload.as_ref())
+        });
+    }
+}
+
+/// Suite throughput serial vs fanned out — the headline number for the
+/// parallel harness (`repro --jobs`).
+fn suite_throughput(harness: &mut tb::Harness) {
+    let mix = suite_mix(4);
+    let total_ops: u64 = mix.len() as u64 * OPS / 4 * 2; // stream/memset emit ~2 ops per element
+    let machine = Machine::dram_only(Platform::Spr2s);
+    harness.bench_throughput("suite-mix/serial", total_ops, 5, 1, || {
+        for workload in &mix {
+            machine.run(workload.as_ref());
+        }
     });
-    c.bench_function("graph-op-generation", |b| {
-        let workload = camp_workloads::find("gap.pr-kron").expect("in suite");
-        b.iter(|| workload.ops().count())
+    let jobs = par::default_jobs();
+    harness.bench_throughput(&format!("suite-mix/jobs-{jobs}"), total_ops, 5, 1, || {
+        par::par_map(jobs, &mix, |workload| machine.run(workload.as_ref()));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = engine_throughput, engine_tiered_throughput, suite_generation
+fn suite_generation(harness: &mut tb::Harness) {
+    harness.bench("suite-construction", 10, 1, || {
+        let suite = camp_workloads::suite();
+        assert_eq!(suite.len(), 265);
+        suite
+    });
+    let workload = camp_workloads::find("gap.pr-kron").expect("in suite");
+    harness.bench("graph-op-generation", 10, 1, || workload.ops().count());
 }
-criterion_main!(benches);
+
+fn main() {
+    let mut harness = tb::Harness::new();
+    engine_throughput(&mut harness);
+    engine_tiered_throughput(&mut harness);
+    suite_throughput(&mut harness);
+    suite_generation(&mut harness);
+    harness.maybe_write_json().expect("snapshot written");
+}

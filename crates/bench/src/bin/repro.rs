@@ -3,48 +3,105 @@
 //! ```text
 //! repro list              # show available experiment ids
 //! repro table1 fig7 ...   # run specific experiments
-//! repro all               # run everything (tens of minutes)
+//! repro all               # run everything
+//! repro --jobs 8 all      # run experiments on 8 worker threads
 //! repro --out results all # also archive TSVs under results/
 //! ```
+//!
+//! Experiments run concurrently (`--jobs N`, default: all cores) over a
+//! shared single-flight run cache; each experiment's rendered tables are
+//! buffered and printed in registry order, so stdout and the archived
+//! TSVs are byte-identical to a serial (`--jobs 1`) run.
 
-use camp_bench::{experiments, run_experiment, Context};
+use camp_bench::{experiments, par, run_experiment, Context};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
+struct Args {
+    ids: Vec<String>,
+    results_dir: Option<PathBuf>,
+    jobs: usize,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut results_dir: Option<PathBuf> = Some(PathBuf::from("results"));
+    let mut jobs = par::default_jobs();
     if let Some(pos) = args.iter().position(|a| a == "--out") {
         args.remove(pos);
         if pos < args.len() {
             results_dir = Some(PathBuf::from(args.remove(pos)));
         } else {
-            eprintln!("--out requires a directory");
-            return ExitCode::FAILURE;
+            return Err("--out requires a directory".into());
         }
     }
     if let Some(pos) = args.iter().position(|a| a == "--no-archive") {
         args.remove(pos);
         results_dir = None;
     }
+    if let Some(pos) = args.iter().position(|a| a == "--jobs" || a == "-j") {
+        args.remove(pos);
+        if pos < args.len() {
+            jobs = args
+                .remove(pos)
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or("--jobs requires a positive integer")?;
+        } else {
+            return Err("--jobs requires a positive integer".into());
+        }
+    }
     if args.is_empty() || args[0] == "list" || args[0] == "--help" {
-        println!("usage: repro [--out DIR | --no-archive] <experiment..|all>\n");
+        println!("usage: repro [--jobs N] [--out DIR | --no-archive] <experiment..|all>\n");
         println!("experiments:");
         for experiment in experiments::registry() {
             println!("  {:18} {}", experiment.id, experiment.description);
         }
-        return ExitCode::SUCCESS;
+        return Ok(None);
     }
     let ids: Vec<String> = if args.iter().any(|a| a == "all") {
         experiments::registry().iter().map(|e| e.id.to_string()).collect()
     } else {
         args
     };
-    let ctx = Context::new();
+    Ok(Some(Args { ids, results_dir, jobs }))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Validate ids up front: a typo should not cost a full parallel sweep.
+    for id in &args.ids {
+        if experiments::find(id).is_none() {
+            eprintln!("unknown experiment '{id}' (try `repro list`)");
+            return ExitCode::FAILURE;
+        }
+    }
+    let start = std::time::Instant::now();
+    let ctx = Context::new().with_jobs(args.jobs);
+    // Each experiment renders into its own buffer; buffers are printed in
+    // input order below, so stdout does not depend on scheduling.
+    let outputs = par::par_map(args.jobs, &args.ids, |id| {
+        let mut buffer = Vec::new();
+        let outcome = run_experiment(id, &ctx, &mut buffer, args.results_dir.as_deref());
+        (buffer, outcome)
+    });
     let mut stdout = std::io::stdout().lock();
-    for id in &ids {
-        match run_experiment(id, &ctx, &mut stdout, results_dir.as_deref()) {
-            Ok(true) => {}
+    for (id, (buffer, outcome)) in args.ids.iter().zip(outputs) {
+        match outcome {
+            Ok(true) => {
+                use std::io::Write;
+                if stdout.write_all(&buffer).is_err() {
+                    return ExitCode::FAILURE;
+                }
+            }
             Ok(false) => {
                 eprintln!("unknown experiment '{id}' (try `repro list`)");
                 return ExitCode::FAILURE;
@@ -55,6 +112,11 @@ fn main() -> ExitCode {
             }
         }
     }
-    eprintln!("total simulation runs executed: {}", ctx.runs_executed());
+    eprintln!(
+        "total simulation runs executed: {} ({} jobs, {:.1}s wall-clock)",
+        ctx.runs_executed(),
+        args.jobs,
+        start.elapsed().as_secs_f64()
+    );
     ExitCode::SUCCESS
 }

@@ -26,7 +26,9 @@ fn evaluate_with(
     mutate(&mut calibration);
     let predictor = camp_core::CampPredictor::new(calibration).with_transfer(transfer);
     let (mut predicted, mut actual) = (Vec::new(), Vec::new());
-    for workload in camp_workloads::suite() {
+    let suite = camp_workloads::suite();
+    ctx.prefetch_suite(PLATFORM, DEVICE, &suite);
+    for workload in suite {
         let dram = ctx.run(PLATFORM, None, &workload);
         let slow = ctx.run(PLATFORM, Some(DEVICE), &workload);
         let total = if saturation {
@@ -135,10 +137,8 @@ pub fn quadratic(ctx: &Context) -> Vec<Table> {
             DEFAULT_TAU,
         );
         let (baseline, points) = sweep(workload, SWEEP_STEPS);
-        let actuals: Vec<(f64, f64)> = points
-            .iter()
-            .map(|(x, report)| (*x, report.slowdown_vs(&baseline)))
-            .collect();
+        let actuals: Vec<(f64, f64)> =
+            points.iter().map(|(x, report)| (*x, report.slowdown_vs(&baseline))).collect();
         data.push((model, actuals));
     }
     for (label, curve) in curves {

@@ -75,10 +75,14 @@ pub fn first_touch(ctx: &Context) -> Vec<Table> {
         &["workload", "capacity", "predicted", "actual", "abs err"],
     );
     let (mut predicted_all, mut actual_all) = (Vec::new(), Vec::new());
-    for name in ["spec.603.bwaves-8t", "mlc.gups-256m-d0-w0", "spec.654.roms-8t", "db.btree_lookup-lg"] {
+    for name in [
+        "spec.603.bwaves-8t",
+        "mlc.gups-256m-d0-w0",
+        "spec.654.roms-8t",
+        "db.btree_lookup-lg",
+    ] {
         let workload = camp_workloads::find(name).expect("in suite");
-        let model =
-            InterleaveModel::profile(PLATFORM, DEVICE, &workload, &predictor, DEFAULT_TAU);
+        let model = InterleaveModel::profile(PLATFORM, DEVICE, &workload, &predictor, DEFAULT_TAU);
         let baseline = Machine::dram_only(PLATFORM).run(&workload);
         let total_pages = workload.footprint_bytes().div_ceil(PAGE_BYTES);
         for capacity in [0.25, 0.5, 0.75] {
@@ -121,7 +125,15 @@ pub fn hybrid(ctx: &Context) -> Vec<Table> {
     let predictor = ctx.predictor(PLATFORM, DEVICE);
     let mut table = Table::new(
         "Extension (§6.4): hybrid hot-pinning + interleaving (capacity-constrained)",
-        &["workload", "capacity", "Hybrid (CAMP)", "Best-shot", "First-touch", "NBT", "Soar"],
+        &[
+            "workload",
+            "capacity",
+            "Hybrid (CAMP)",
+            "Best-shot",
+            "First-touch",
+            "NBT",
+            "Soar",
+        ],
     );
     let workload = SkewedStream { name: "ext.dlrm-like".into() };
     for capacity in [0.4, 0.6, 0.8] {
@@ -153,8 +165,19 @@ pub fn emr(ctx: &Context) -> Vec<Table> {
     let platform = Platform::Emr2s;
     let device = DeviceKind::CxlA;
     let predictor = ctx.predictor(platform, device);
+    let suite = camp_workloads::suite();
+    let sampled: Vec<(camp_sim::Platform, Option<DeviceKind>, &dyn camp_sim::Workload)> = suite
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 3 == 0)
+        .flat_map(|(_, w)| {
+            let w: &dyn camp_sim::Workload = w.as_ref();
+            [(platform, None, w), (platform, Some(device), w)]
+        })
+        .collect();
+    ctx.prefetch_runs(&sampled);
     let (mut predicted, mut actual) = (Vec::new(), Vec::new());
-    for (i, workload) in camp_workloads::suite().iter().enumerate() {
+    for (i, workload) in suite.iter().enumerate() {
         if i % 3 != 0 {
             continue;
         }

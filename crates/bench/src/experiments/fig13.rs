@@ -18,10 +18,14 @@ pub fn run(ctx: &Context) -> Vec<Table> {
         "Figure 13: predicted vs actual slowdown under interleaving (spec.603.bwaves-10t)",
         &[
             "dram_fraction",
-            "pred_DRd", "act_DRd",
-            "pred_Cache", "act_Cache",
-            "pred_Store", "act_Store",
-            "pred_total", "act_total",
+            "pred_DRd",
+            "act_DRd",
+            "pred_Cache",
+            "act_Cache",
+            "pred_Store",
+            "act_Store",
+            "pred_total",
+            "act_total",
         ],
     );
     let (mut predicted, mut actual) = (Vec::new(), Vec::new());
@@ -47,11 +51,7 @@ pub fn run(ctx: &Context) -> Vec<Table> {
         &["profiling_runs", "pearson", "mean abs err", "max abs err"],
     );
     let errors = stats::error_summary(&predicted, &actual);
-    let max_err = predicted
-        .iter()
-        .zip(&actual)
-        .map(|(p, a)| (p - a).abs())
-        .fold(0.0f64, f64::max);
+    let max_err = predicted.iter().zip(&actual).map(|(p, a)| (p - a).abs()).fold(0.0f64, f64::max);
     summary.row(&[
         model.profiling_runs.to_string(),
         fmt(stats::pearson(&predicted, &actual).unwrap_or(0.0), 3),

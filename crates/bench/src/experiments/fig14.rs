@@ -15,14 +15,18 @@ pub fn run(ctx: &Context) -> Vec<Table> {
     let mut per_workload = Table::new(
         "Figure 14b/c: predicted vs oracle optimal ratios",
         &[
-            "workload", "runs", "pred_ratio", "oracle_ratio",
-            "perf_at_pred", "perf_at_oracle", "gap",
+            "workload",
+            "runs",
+            "pred_ratio",
+            "oracle_ratio",
+            "perf_at_pred",
+            "perf_at_oracle",
+            "gap",
         ],
     );
     let mut all_errors: Vec<f64> = Vec::new();
     for workload in camp_workloads::interleaving_workloads() {
-        let model =
-            InterleaveModel::profile(PLATFORM, DEVICE, &workload, &predictor, DEFAULT_TAU);
+        let model = InterleaveModel::profile(PLATFORM, DEVICE, &workload, &predictor, DEFAULT_TAU);
         let (baseline, points) = sweep(&workload, SWEEP_STEPS);
         // (a) misprediction across the sweep.
         for (x, report) in &points {
@@ -50,9 +54,8 @@ pub fn run(ctx: &Context) -> Vec<Table> {
         ]);
     }
     all_errors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let within = |t: f64| {
-        all_errors.iter().filter(|&&e| e <= t).count() as f64 / all_errors.len() as f64
-    };
+    let within =
+        |t: f64| all_errors.iter().filter(|&&e| e <= t).count() as f64 / all_errors.len() as f64;
     let mut cdf = Table::new(
         "Figure 14a: interleaving misprediction CDF",
         &["samples", "<=2%", "<=5%", "<=10%", "median", "p95"],

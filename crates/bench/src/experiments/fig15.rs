@@ -17,7 +17,11 @@ pub fn run(ctx: &Context) -> Vec<Table> {
     header.extend(baselines.iter().map(|p| p.name().to_string()));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(
-        format!("Figure 15: normalized performance vs DRAM-only ({} + {})", PLATFORM.name(), DEVICE.name()),
+        format!(
+            "Figure 15: normalized performance vs DRAM-only ({} + {})",
+            PLATFORM.name(),
+            DEVICE.name()
+        ),
         &header_refs,
     );
     let mut wins = 0usize;

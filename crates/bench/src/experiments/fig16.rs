@@ -41,33 +41,46 @@ pub fn run(ctx: &Context) -> Vec<Table> {
     // (a) prediction vs measurement under colocation.
     let mut accuracy = Table::new(
         "Figure 16a: CAMP vs MPKI under colocation (slow-placed workload)",
-        &["pair", "slow workload", "mpki_rank_of_slow", "camp_pred", "actual"],
+        &[
+            "pair",
+            "slow workload",
+            "mpki_rank_of_slow",
+            "camp_pred",
+            "actual",
+        ],
     );
     // (b) placement quality.
     let mut placement = Table::new(
         "Figure 16b: CAMP-guided vs MPKI-guided placement",
-        &["pair", "camp mean slowdown", "mpki mean slowdown", "mpki penalty"],
+        &[
+            "pair",
+            "camp mean slowdown",
+            "mpki mean slowdown",
+            "mpki penalty",
+        ],
     );
     for (a_name, b_name) in pairs() {
         let a = camp_workloads::find(a_name).expect("pair workload in suite");
         let b = camp_workloads::find(b_name).expect("pair workload in suite");
         // Profiling runs under the colocation's LLC allocation.
-        let dram_machine = camp_sim::Machine::dram_only(PLATFORM)
-            .with_llc_sharers(a.threads() + b.threads());
+        let dram_machine =
+            camp_sim::Machine::dram_only(PLATFORM).with_llc_sharers(a.threads() + b.threads());
         let dram_a = std::rc::Rc::new(dram_machine.run(&a));
         let dram_b = std::rc::Rc::new(dram_machine.run(&b));
         // (a): put the CAMP-tolerant workload on the slow tier, measure.
-        let (tolerant, sensitive, solo_tolerant) =
-            if predictor.predict_total_saturated(&dram_a) <= predictor.predict_total_saturated(&dram_b) {
-                (&a, &b, &dram_a)
-            } else {
-                (&b, &a, &dram_b)
-            };
+        let (tolerant, sensitive, solo_tolerant) = if predictor.predict_total_saturated(&dram_a)
+            <= predictor.predict_total_saturated(&dram_b)
+        {
+            (&a, &b, &dram_a)
+        } else {
+            (&b, &a, &dram_b)
+        };
         let (_, slow_report) =
             run_colocated(PLATFORM, DEVICE, sensitive.as_ref(), tolerant.as_ref());
         let mpki_t = derived::mpki(&solo_tolerant.counters).unwrap_or(0.0);
         let mpki_other = derived::mpki(
-            &ctx.run(PLATFORM, None, if std::ptr::eq(tolerant, &a) { &b } else { &a }).counters,
+            &ctx.run(PLATFORM, None, if std::ptr::eq(tolerant, &a) { &b } else { &a })
+                .counters,
         )
         .unwrap_or(0.0);
         accuracy.row(&[
@@ -84,10 +97,7 @@ pub fn run(ctx: &Context) -> Vec<Table> {
             format!("{a_name}+{b_name}"),
             fmt(camp.mean_slowdown(), 3),
             fmt(mpki.mean_slowdown(), 3),
-            format!(
-                "{:+.1}%",
-                (mpki.mean_slowdown() - camp.mean_slowdown()) * 100.0
-            ),
+            format!("{:+.1}%", (mpki.mean_slowdown() - camp.mean_slowdown()) * 100.0),
         ]);
     }
 

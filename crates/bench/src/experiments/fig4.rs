@@ -20,12 +20,22 @@ pub fn run(ctx: &Context) -> Vec<Table> {
     let mut scatter = Table::new(
         format!("Figure 4d/e/f: scaling ratios per workload ({} vs DRAM)", DEVICE.name()),
         &[
-            "workload", "L_dram", "R_lat", "MLP_dram", "R_mlp", "R_N", "L/MLP",
-            "scaling(R_lat/R_mlp-1)", "hyperbola_fit", "s_llc_over_C",
+            "workload",
+            "L_dram",
+            "R_lat",
+            "MLP_dram",
+            "R_mlp",
+            "R_N",
+            "L/MLP",
+            "scaling(R_lat/R_mlp-1)",
+            "hyperbola_fit",
+            "s_llc_over_C",
         ],
     );
     let mut proxy_errors: Vec<(f64, f64, f64)> = Vec::new(); // (C-based, lat-only, raw-stall)
-    for workload in camp_workloads::suite() {
+    let suite = camp_workloads::suite();
+    ctx.prefetch_suite(PLATFORM, DEVICE, &suite);
+    for workload in suite {
         let dram = ctx.run(PLATFORM, None, &workload);
         let slow = ctx.run(PLATFORM, Some(DEVICE), &workload);
         let sig_d = Signature::from_report(&dram);
@@ -40,11 +50,8 @@ pub fn run(ctx: &Context) -> Vec<Table> {
         let r_n = n_s / n_d;
         let tolerance = sig_d.latency_tolerance();
         let scaling = r_lat / r_mlp - 1.0;
-        let s_llc_over_c = if sig_d.memory_active > 0.0 {
-            sig_d.s_llc / sig_d.memory_active
-        } else {
-            0.0
-        };
+        let s_llc_over_c =
+            if sig_d.memory_active > 0.0 { sig_d.s_llc / sig_d.memory_active } else { 0.0 };
         scatter.row(&[
             workload.name().to_string(),
             fmt(sig_d.latency, 1),
@@ -78,10 +85,7 @@ pub fn run(ctx: &Context) -> Vec<Table> {
         ("latency scaling only", 1),
         ("raw DRAM stalls", 2),
     ] {
-        let mut errs: Vec<f64> = proxy_errors
-            .iter()
-            .map(|e| [e.0, e.1, e.2][pick])
-            .collect();
+        let mut errs: Vec<f64> = proxy_errors.iter().map(|e| [e.0, e.1, e.2][pick]).collect();
         errs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let within = errs.iter().filter(|&&e| e <= 0.05).count() as f64 / errs.len() as f64;
         proxies.row(&[
@@ -91,10 +95,8 @@ pub fn run(ctx: &Context) -> Vec<Table> {
             format!("{:.0}%", within * 100.0),
         ]);
     }
-    let mut fit = Table::new(
-        "Figure 4f: fitted hyperbolic transfer",
-        &["p", "q", "idle latency ratio"],
-    );
+    let mut fit =
+        Table::new("Figure 4f: fitted hyperbolic transfer", &["p", "q", "idle latency ratio"]);
     fit.row(&[
         fmt(calibration.hyperbola.p, 3),
         fmt(calibration.hyperbola.q, 2),

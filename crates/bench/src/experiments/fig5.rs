@@ -25,15 +25,16 @@ pub fn run(ctx: &Context) -> Vec<Table> {
             "s_cache_slowdown",
         ],
     );
-    for workload in camp_workloads::suite() {
+    let suite = camp_workloads::suite();
+    ctx.prefetch_suite(PLATFORM, DEVICE, &suite);
+    for workload in suite {
         let dram = ctx.run(PLATFORM, None, &workload);
         let slow = ctx.run(PLATFORM, Some(DEVICE), &workload);
         let loads = dram.counters.get_f64(Event::DemandLoads);
         if loads <= 0.0 {
             continue;
         }
-        let d_lfb =
-            slow.counters.get_f64(Event::LfbHit) - dram.counters.get_f64(Event::LfbHit);
+        let d_lfb = slow.counters.get_f64(Event::LfbHit) - dram.counters.get_f64(Event::LfbHit);
         let l1pf_l3miss = |r: &camp_sim::RunReport| {
             r.counters.get_f64(Event::PfL1dAnyResponse) - r.counters.get_f64(Event::PfL1dL3Hit)
         };
@@ -56,12 +57,7 @@ pub fn run(ctx: &Context) -> Vec<Table> {
         .to_tsv()
         .lines()
         .skip(1)
-        .map(|l| {
-            l.split('\t')
-                .skip(1)
-                .map(|v| v.parse().expect("numeric cell"))
-                .collect()
-        })
+        .map(|l| l.split('\t').skip(1).map(|v| v.parse().expect("numeric cell")).collect())
         .collect();
     let col = |i: usize| -> Vec<f64> { rows.iter().map(|r| r[i]).collect() };
     let mut corr = Table::new("Figure 5: correlations", &["pair", "pearson"]);

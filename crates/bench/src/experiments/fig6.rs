@@ -53,7 +53,11 @@ pub fn run_fig7(ctx: &Context) -> Vec<Table> {
     for (platform, device) in table6::configurations() {
         let rows = table6::collect(ctx, platform, device);
         let mut table = Table::new(
-            format!("Figure 7: predicted vs actual slowdown ({} {})", platform.name(), device.name()),
+            format!(
+                "Figure 7: predicted vs actual slowdown ({} {})",
+                platform.name(),
+                device.name()
+            ),
             &["workload", "predicted", "actual"],
         );
         for (name, _, predicted_total, measured) in rows {

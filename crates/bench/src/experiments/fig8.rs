@@ -68,9 +68,8 @@ impl Workload for Phased {
             let idx = (i.wrapping_mul(1_203_301).wrapping_add(12_345)) % lines;
             Op::chase(idx * 64)
         });
-        let compute = (0..150_000u64).flat_map(|i| {
-            [Op::load(REGION + (i * 64) % (4 << 20)), Op::compute(12)].into_iter()
-        });
+        let compute = (0..150_000u64)
+            .flat_map(|i| [Op::load(REGION + (i * 64) % (4 << 20)), Op::compute(12)].into_iter());
         let gather = (0..200_000u64).map(|i| {
             let lines = REGION / 64;
             let idx = (i.wrapping_mul(2_654_435_761)) % lines;
@@ -83,19 +82,10 @@ impl Workload for Phased {
 
 /// Predicts per-epoch slowdown on DRAM and compares against the measured
 /// slowdown of the matching instruction range on the slow run.
-fn time_series(
-    ctx: &Context,
-    workload: &dyn Workload,
-    label: &str,
-    tables: &mut Vec<Table>,
-) {
+fn time_series(ctx: &Context, workload: &dyn Workload, label: &str, tables: &mut Vec<Table>) {
     let predictor = ctx.predictor(PLATFORM, DEVICE);
-    let dram = Machine::dram_only(PLATFORM)
-        .with_epochs(EPOCH_CYCLES)
-        .run(workload);
-    let slow = Machine::slow_only(PLATFORM, DEVICE)
-        .with_epochs(EPOCH_CYCLES)
-        .run(workload);
+    let dram = Machine::dram_only(PLATFORM).with_epochs(EPOCH_CYCLES).run(workload);
+    let slow = Machine::slow_only(PLATFORM, DEVICE).with_epochs(EPOCH_CYCLES).run(workload);
     let slow_curve = cumulative(&slow.epochs);
 
     let mut table = Table::new(

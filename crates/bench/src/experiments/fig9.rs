@@ -55,7 +55,13 @@ pub fn run(_ctx: &Context) -> Vec<Table> {
         );
         for (x, report) in points {
             let m = MeasuredComponents::attribute(&baseline, &report);
-            table.row(&[fmt(x, 2), fmt(m.drd, 3), fmt(m.cache, 3), fmt(m.store, 3), fmt(m.total, 3)]);
+            table.row(&[
+                fmt(x, 2),
+                fmt(m.drd, 3),
+                fmt(m.cache, 3),
+                fmt(m.store, 3),
+                fmt(m.total, 3),
+            ]);
         }
         tables.push(table);
     }
@@ -98,11 +104,8 @@ pub fn run_fig11(_ctx: &Context) -> Vec<Table> {
         );
         for (x, report) in points {
             let l_fast = report.fast_tier.avg_read_latency().unwrap_or(0.0);
-            let l_slow = report
-                .slow_tier
-                .as_ref()
-                .and_then(|t| t.avg_read_latency())
-                .unwrap_or(0.0);
+            let l_slow =
+                report.slow_tier.as_ref().and_then(|t| t.avg_read_latency()).unwrap_or(0.0);
             table.row(&[
                 fmt(x, 2),
                 fmt(l_fast, 0),

@@ -9,7 +9,16 @@ use camp_sim::{DeviceKind, Platform};
 pub fn table3(_ctx: &Context) -> Vec<Table> {
     let mut table = Table::new(
         "Table 3: Testbed platforms",
-        &["platform", "cores", "freq GHz", "LLC MB", "DRAM", "read GB/s", "write GB/s", "latency ns"],
+        &[
+            "platform",
+            "cores",
+            "freq GHz",
+            "LLC MB",
+            "DRAM",
+            "read GB/s",
+            "write GB/s",
+            "latency ns",
+        ],
     );
     for platform in Platform::ALL {
         let cfg = platform.config();
@@ -37,7 +46,12 @@ pub fn table4(_ctx: &Context) -> Vec<Table> {
         "Table 4: CXL 2.0 memory expanders",
         &["device", "read GB/s", "write GB/s", "latency ns"],
     );
-    for kind in [DeviceKind::CxlA, DeviceKind::CxlB, DeviceKind::CxlC, DeviceKind::Numa] {
+    for kind in [
+        DeviceKind::CxlA,
+        DeviceKind::CxlB,
+        DeviceKind::CxlC,
+        DeviceKind::Numa,
+    ] {
         let cfg = kind.config_for(Platform::Skx2s);
         table.row(&[
             kind.name().to_string(),

@@ -15,8 +15,10 @@ pub const DEVICE: DeviceKind = DeviceKind::Numa;
 /// prediction, and the measured slowdown. Shared with Figure 1.
 pub fn collect(ctx: &Context) -> Vec<(String, Vec<f64>, f64, f64)> {
     let predictor = ctx.predictor(PLATFORM, DEVICE);
+    let suite = camp_workloads::suite();
+    ctx.prefetch_suite(PLATFORM, DEVICE, &suite);
     let mut rows = Vec::new();
-    for workload in camp_workloads::suite() {
+    for workload in suite {
         let dram = ctx.run(PLATFORM, None, &workload);
         let slow = ctx.run(PLATFORM, Some(DEVICE), &workload);
         let metrics: Vec<f64> = BaselineMetric::ALL.iter().map(|m| m.value(&dram)).collect();
@@ -38,10 +40,18 @@ pub fn run(ctx: &Context) -> Vec<Table> {
     for (i, metric) in BaselineMetric::ALL.iter().enumerate() {
         let values: Vec<f64> = rows.iter().map(|r| r.1[i]).collect();
         let r = stats::pearson(&values, &actual).unwrap_or(0.0).abs();
-        table.row(&[metric.system().to_string(), metric.name().to_string(), fmt(r, 2)]);
+        table.row(&[
+            metric.system().to_string(),
+            metric.name().to_string(),
+            fmt(r, 2),
+        ]);
     }
     let camp: Vec<f64> = rows.iter().map(|r| r.2).collect();
     let r = stats::pearson(&camp, &actual).unwrap_or(0.0);
-    table.row(&["CAMP (ours)".to_string(), "predicted slowdown".to_string(), fmt(r, 2)]);
+    table.row(&[
+        "CAMP (ours)".to_string(),
+        "predicted slowdown".to_string(),
+        fmt(r, 2),
+    ]);
     vec![table]
 }

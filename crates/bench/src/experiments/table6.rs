@@ -24,8 +24,10 @@ pub fn collect(
     device: DeviceKind,
 ) -> Vec<(String, camp_core::SlowdownPrediction, f64, camp_core::MeasuredComponents)> {
     let predictor = ctx.predictor(platform, device);
+    let suite = camp_workloads::suite();
+    ctx.prefetch_suite(platform, device, &suite);
     let mut rows = Vec::new();
-    for workload in camp_workloads::suite() {
+    for workload in suite {
         let dram = ctx.run(platform, None, &workload);
         let slow = ctx.run(platform, Some(device), &workload);
         let prediction = predictor.predict_report(&dram);
@@ -40,7 +42,13 @@ pub fn collect(
 pub fn run(ctx: &Context) -> Vec<Table> {
     let mut table = Table::new(
         "Table 6: overall prediction accuracy (265 workloads)",
-        &["config", "pearson", "<=5% abs err", "<=10% abs err", "mean abs err"],
+        &[
+            "config",
+            "pearson",
+            "<=5% abs err",
+            "<=10% abs err",
+            "mean abs err",
+        ],
     );
     for (platform, device) in configurations() {
         let rows = collect(ctx, platform, device);

@@ -3,63 +3,145 @@
 //!
 //! Several experiments consume the same (platform, device) endpoint runs
 //! of the full 265-workload suite; the [`Context`] memoises them so
-//! `repro all` pays for each run once.
+//! `repro all` pays for each run once. The cache is thread-safe with
+//! single-flight semantics: experiments running on different threads (and
+//! [`Context::prefetch_runs`] fan-outs within an experiment) share one
+//! cache, and two threads requesting the same endpoint run never simulate
+//! it twice — the second blocks until the first finishes.
 
+use crate::par;
 use camp_core::{Calibration, CampPredictor};
 use camp_sim::{DeviceKind, Machine, Platform, RunReport, Workload};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Cache key for one endpoint run: platform, slow device (`None` = DRAM
 /// only), workload name.
 type RunKey = (Platform, Option<DeviceKind>, String);
 
-/// Memoising experiment context.
-#[derive(Default)]
+/// A single-flight memo cell: the first requester initialises it, later
+/// requesters either hit the filled cell or block until it fills.
+type Cell<T> = Arc<OnceLock<Arc<T>>>;
+
+/// Number of independent lock shards for the run cache. Endpoint runs are
+/// requested by many threads at once; sharding keeps the map locks off the
+/// hot path (each lock is held only to clone an `Arc`, never to simulate).
+const RUN_SHARDS: usize = 16;
+
+/// Memoising experiment context, shareable across threads.
 pub struct Context {
-    runs: RefCell<HashMap<RunKey, Rc<RunReport>>>,
-    calibrations: RefCell<HashMap<(Platform, DeviceKind), Rc<Calibration>>>,
+    runs: [Mutex<HashMap<RunKey, Cell<RunReport>>>; RUN_SHARDS],
+    calibrations: Mutex<HashMap<(Platform, DeviceKind), Cell<Calibration>>>,
+    executed: AtomicUsize,
+    jobs: usize,
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Context {
+            runs: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            calibrations: Mutex::new(HashMap::new()),
+            executed: AtomicUsize::new(0),
+            jobs: par::default_jobs(),
+        }
+    }
 }
 
 impl Context {
-    /// Creates an empty context.
+    /// Creates an empty context using every available core for prefetch
+    /// fan-outs.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Sets the number of worker threads [`Context::prefetch_runs`] uses
+    /// (`1` disables intra-experiment parallelism).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The configured prefetch fan-out width.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The single-flight cell for `key`, creating it if absent. The shard
+    /// lock is held only for the map lookup, never while simulating.
+    fn run_cell(&self, key: &RunKey) -> Cell<RunReport> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let shard = (hasher.finish() as usize) % RUN_SHARDS;
+        let mut map = self.runs[shard].lock().expect("run shard poisoned");
+        Arc::clone(map.entry(key.clone()).or_default())
+    }
+
     /// Runs (or recalls) `workload` on `platform`, entirely on DRAM
     /// (`device = None`) or entirely on the given slow tier.
+    ///
+    /// Concurrent calls with the same key are single-flight: exactly one
+    /// thread simulates, the rest block on the memo cell and share the
+    /// result.
     pub fn run(
         &self,
         platform: Platform,
         device: Option<DeviceKind>,
         workload: &dyn Workload,
-    ) -> Rc<RunReport> {
+    ) -> Arc<RunReport> {
         let key = (platform, device, workload.name().to_string());
-        if let Some(report) = self.runs.borrow().get(&key) {
-            return Rc::clone(report);
-        }
-        let machine = match device {
-            None => Machine::dram_only(platform),
-            Some(kind) => Machine::slow_only(platform, kind),
-        };
-        let report = Rc::new(machine.run(workload));
-        self.runs.borrow_mut().insert(key, Rc::clone(&report));
-        report
+        let cell = self.run_cell(&key);
+        Arc::clone(cell.get_or_init(|| {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            let machine = match device {
+                None => Machine::dram_only(platform),
+                Some(kind) => Machine::slow_only(platform, kind),
+            };
+            Arc::new(machine.run(workload))
+        }))
+    }
+
+    /// Simulates every listed endpoint run that is not already cached,
+    /// fanning out across [`Context::jobs`] worker threads. Experiments
+    /// call this up front with their full endpoint-run set so independent
+    /// runs overlap; the subsequent serial `run` calls all hit the cache.
+    pub fn prefetch_runs(&self, runs: &[(Platform, Option<DeviceKind>, &dyn Workload)]) {
+        par::par_map(self.jobs, runs, |&(platform, device, workload)| {
+            self.run(platform, device, workload);
+        });
+    }
+
+    /// Prefetches both endpoint runs (DRAM and `device`) of every workload
+    /// in `suite` on `platform` — the common preamble of the suite-scale
+    /// experiments.
+    pub fn prefetch_suite(
+        &self,
+        platform: Platform,
+        device: DeviceKind,
+        suite: &[Box<dyn Workload>],
+    ) {
+        let runs: Vec<(Platform, Option<DeviceKind>, &dyn Workload)> = suite
+            .iter()
+            .flat_map(|workload| {
+                let workload: &dyn Workload = workload.as_ref();
+                [
+                    (platform, None, workload),
+                    (platform, Some(device), workload),
+                ]
+            })
+            .collect();
+        self.prefetch_runs(&runs);
     }
 
     /// Fits (or recalls) the calibration for a (platform, device) pair.
-    pub fn calibration(&self, platform: Platform, device: DeviceKind) -> Rc<Calibration> {
-        let key = (platform, device);
-        if let Some(calibration) = self.calibrations.borrow().get(&key) {
-            return Rc::clone(calibration);
-        }
-        let calibration = Rc::new(Calibration::fit(platform, device));
-        self.calibrations
-            .borrow_mut()
-            .insert(key, Rc::clone(&calibration));
-        calibration
+    /// Single-flight, like [`Context::run`].
+    pub fn calibration(&self, platform: Platform, device: DeviceKind) -> Arc<Calibration> {
+        let cell = {
+            let mut map = self.calibrations.lock().expect("calibration map poisoned");
+            Arc::clone(map.entry((platform, device)).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| Arc::new(Calibration::fit(platform, device))))
     }
 
     /// Convenience: a predictor for a (platform, device) pair.
@@ -67,9 +149,9 @@ impl Context {
         CampPredictor::new((*self.calibration(platform, device)).clone())
     }
 
-    /// Number of simulation runs executed so far.
+    /// Number of simulation runs executed (not merely recalled) so far.
     pub fn runs_executed(&self) -> usize {
-        self.runs.borrow().len()
+        self.executed.load(Ordering::Relaxed)
     }
 }
 
@@ -132,7 +214,8 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.header, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        let rule = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(rule));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -170,11 +253,29 @@ mod tests {
         let w = PointerChase::new("ctx-chase", 1, 1 << 14, 1, 5_000);
         let a = ctx.run(Platform::Skx2s, None, &w);
         let b = ctx.run(Platform::Skx2s, None, &w);
-        assert!(Rc::ptr_eq(&a, &b), "second call must hit the cache");
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
         assert_eq!(ctx.runs_executed(), 1);
         let c = ctx.run(Platform::Skx2s, Some(DeviceKind::CxlA), &w);
-        assert!(!Rc::ptr_eq(&a, &c));
+        assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(ctx.runs_executed(), 2);
+    }
+
+    #[test]
+    fn prefetch_populates_the_cache() {
+        let ctx = Context::new().with_jobs(4);
+        let w1 = PointerChase::new("ctx-pf-1", 1, 1 << 14, 1, 5_000);
+        let w2 = PointerChase::new("ctx-pf-2", 1, 1 << 14, 2, 5_000);
+        ctx.prefetch_runs(&[
+            (Platform::Skx2s, None, &w1),
+            (Platform::Skx2s, None, &w2),
+            (Platform::Skx2s, Some(DeviceKind::CxlA), &w1),
+        ]);
+        assert_eq!(ctx.runs_executed(), 3);
+        // Subsequent serial calls are pure cache hits.
+        let a = ctx.run(Platform::Skx2s, None, &w1);
+        let b = ctx.run(Platform::Skx2s, None, &w1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(ctx.runs_executed(), 3);
     }
 
     #[test]
@@ -189,6 +290,17 @@ mod tests {
         assert_eq!(tsv.lines().count(), 3);
         assert!(tsv.starts_with("name\tvalue"));
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn empty_header_renders_without_panicking() {
+        // Regression: `widths.len() - 1` used to underflow for tables
+        // constructed with no columns.
+        let t = Table::new("Empty", &[]);
+        let rendered = t.render();
+        assert!(rendered.contains("== Empty =="));
+        assert_eq!(t.to_tsv(), "\n");
+        assert!(t.is_empty());
     }
 
     #[test]

@@ -6,10 +6,10 @@
 //! See `DESIGN.md` for the experiment-to-paper index and `EXPERIMENTS.md`
 //! for recorded paper-vs-measured outcomes.
 
-
 #![warn(missing_docs)]
 pub mod experiments;
 pub mod harness;
+pub mod par;
 
 pub use harness::{Context, Table};
 
@@ -18,6 +18,10 @@ use std::path::Path;
 
 /// Runs one experiment by id, printing tables to `out` and archiving TSVs
 /// under `results_dir` (if provided). Returns false for unknown ids.
+///
+/// Everything written to `out` is deterministic — per-experiment timing
+/// goes to stderr — so the stream is byte-identical whether experiments
+/// run serially or are buffered by a parallel driver (`repro --jobs`).
 pub fn run_experiment(
     id: &str,
     ctx: &Context,
@@ -38,7 +42,7 @@ pub fn run_experiment(
             std::fs::write(path, table.to_tsv())?;
         }
     }
-    writeln!(out, "[{} finished in {:.1}s]\n", experiment.id, start.elapsed().as_secs_f64())?;
+    eprintln!("[{} finished in {:.1}s]", experiment.id, start.elapsed().as_secs_f64());
     Ok(true)
 }
 

@@ -91,10 +91,7 @@ mod tests {
     fn metrics_are_finite_and_distinct_on_a_real_run() {
         let workload = camp_workloads::find("spec.505.mcf-1t").expect("in suite");
         let report = Machine::dram_only(Platform::Spr2s).run(&workload);
-        let values: Vec<f64> = BaselineMetric::ALL
-            .iter()
-            .map(|m| m.value(&report))
-            .collect();
+        let values: Vec<f64> = BaselineMetric::ALL.iter().map(|m| m.value(&report)).collect();
         assert!(values.iter().all(|v| v.is_finite()));
         // mcf is memory-bound: stalls high, IPC low, AOL meaningful.
         assert!(values[3] > 0.5, "stall fraction {}", values[3]);

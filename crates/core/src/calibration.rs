@@ -71,11 +71,7 @@ impl Calibration {
     /// # Panics
     ///
     /// Panics if `probes` is empty.
-    pub fn fit_with(
-        platform: Platform,
-        device: DeviceKind,
-        probes: &[Box<dyn Workload>],
-    ) -> Self {
+    pub fn fit_with(platform: Platform, device: DeviceKind, probes: &[Box<dyn Workload>]) -> Self {
         assert!(!probes.is_empty(), "calibration needs probes");
         let dram_machine = Machine::dram_only(platform);
         let slow_machine = Machine::slow_only(platform, device);
@@ -90,11 +86,7 @@ impl Calibration {
             let d = dram_machine.run(probe);
             let s = slow_machine.run(probe);
             dram_idle = d.fast_tier.idle_latency_cycles;
-            slow_idle = s
-                .slow_tier
-                .as_ref()
-                .map(|t| t.idle_latency_cycles)
-                .unwrap_or(slow_idle);
+            slow_idle = s.slow_tier.as_ref().map(|t| t.idle_latency_cycles).unwrap_or(slow_idle);
             let sig_d = Signature::from_report(&d);
             let sig_s = Signature::from_report(&s);
             // Latency-tolerance scatter: needs real offcore demand traffic
@@ -118,11 +110,8 @@ impl Calibration {
             .unwrap_or(Hyperbola { p: 1.3, q: 60.0 });
 
         let l3_hit_latency = platform.config().l3.hit_latency as f64;
-        let derived = crate::model::DerivedLatencyTransfer {
-            dram_idle,
-            slow_idle,
-            l3_hit: l3_hit_latency,
-        };
+        let derived =
+            crate::model::DerivedLatencyTransfer { dram_idle, slow_idle, l3_hit: l3_hit_latency };
         let drd_terms: Vec<f64> = dram_sigs
             .iter()
             .map(|s| derived.eval(s.latency) * s.memory_active_fraction())
@@ -135,10 +124,7 @@ impl Calibration {
             .iter()
             .map(|s| s.r_lfb_hit * s.r_mem * s.cache_stall_fraction())
             .collect();
-        let store_terms: Vec<f64> = dram_sigs
-            .iter()
-            .map(|s| s.store_stall_fraction())
-            .collect();
+        let store_terms: Vec<f64> = dram_sigs.iter().map(|s| s.store_stall_fraction()).collect();
         let truth_drd: Vec<f64> = measured.iter().map(|m| m.drd).collect();
         let truth_cache: Vec<f64> = measured.iter().map(|m| m.cache).collect();
         let truth_store: Vec<f64> = measured.iter().map(|m| m.store).collect();
@@ -182,13 +168,7 @@ mod tests {
             Box::new(PointerChase::new("calib.t-chase-c4", 1, 1 << 19, 4, 40_000)),
             Box::new(PointerChase::new("calib.t-chase-c12", 1, 1 << 19, 12, 40_000)),
             Box::new(StridedRead::new("calib.t-strided", 1, 1 << 19, 4, 2, 40_000)),
-            Box::new(StoreKernel::new(
-                "calib.t-memset",
-                1,
-                64 << 20,
-                StorePattern::Memset,
-                40_000,
-            )),
+            Box::new(StoreKernel::new("calib.t-memset", 1, 64 << 20, StorePattern::Memset, 40_000)),
         ]
     }
 

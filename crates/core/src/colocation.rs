@@ -159,19 +159,15 @@ pub fn place_and_run(
         ColocationPolicy::Camp => {
             // Protect the workload predicted to suffer more on the slow
             // tier.
-            predictor.predict_total_saturated(&solo_a)
-                >= predictor.predict_total_saturated(&solo_b)
+            predictor.predict_total_saturated(&solo_a) >= predictor.predict_total_saturated(&solo_b)
         }
         ColocationPolicy::Mpki => {
             derived::mpki(&solo_a.counters).unwrap_or(0.0)
                 >= derived::mpki(&solo_b.counters).unwrap_or(0.0)
         }
     };
-    let (fast, slow, solo_fast, solo_slow) = if a_first {
-        (a, b, &solo_a, &solo_b)
-    } else {
-        (b, a, &solo_b, &solo_a)
-    };
+    let (fast, slow, solo_fast, solo_slow) =
+        if a_first { (a, b, &solo_a, &solo_b) } else { (b, a, &solo_b, &solo_a) };
     let (fast_report, slow_report) = run_colocated(platform, device, fast, slow);
     ColocationOutcome {
         fast_workload: fast.name().to_string(),
@@ -202,11 +198,7 @@ mod tests {
             Box::new(PointerChase::new("calib.c1", 1, 1 << 21, 1, 30_000)),
             Box::new(PointerChase::new("calib.c8", 1, 1 << 21, 8, 30_000)),
         ];
-        CampPredictor::new(Calibration::fit_with(
-            Platform::Spr2s,
-            DeviceKind::CxlA,
-            &probes,
-        ))
+        CampPredictor::new(Calibration::fit_with(Platform::Spr2s, DeviceKind::CxlA, &probes))
     }
 
     #[test]
@@ -251,7 +243,8 @@ mod tests {
         let a = chaser();
         let b = tolerant();
         let p = predictor();
-        let camp = place_and_run(Platform::Spr2s, DeviceKind::CxlA, &a, &b, ColocationPolicy::Camp, &p);
+        let camp =
+            place_and_run(Platform::Spr2s, DeviceKind::CxlA, &a, &b, ColocationPolicy::Camp, &p);
         // CAMP protects one of them — just verify both outcomes are
         // well-formed and use each workload once.
         assert_ne!(camp.fast_workload, camp.slow_workload);

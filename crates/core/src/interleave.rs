@@ -103,7 +103,12 @@ pub struct TierEndpoint {
 impl TierEndpoint {
     /// Builds an endpoint with the default adaptive latency curve.
     pub fn new(idle_latency: f64, full_latency: f64, stalls: ComponentStalls) -> Self {
-        TierEndpoint { idle_latency, full_latency, stalls, curve: LatencyCurve::Adaptive }
+        TierEndpoint {
+            idle_latency,
+            full_latency,
+            stalls,
+            curve: LatencyCurve::Adaptive,
+        }
     }
 
     fn exponent(&self) -> f64 {
@@ -176,16 +181,12 @@ impl InterleaveModel {
         InterleaveModel {
             dram: TierEndpoint::new(
                 dram.fast_tier.idle_latency_cycles,
-                dram.fast_tier
-                    .avg_read_latency()
-                    .unwrap_or(dram.fast_tier.idle_latency_cycles),
+                dram.fast_tier.avg_read_latency().unwrap_or(dram.fast_tier.idle_latency_cycles),
                 ComponentStalls::from_signature(&sig_d),
             ),
             slow: TierEndpoint::new(
                 slow_tier.idle_latency_cycles,
-                slow_tier
-                    .avg_read_latency()
-                    .unwrap_or(slow_tier.idle_latency_cycles),
+                slow_tier.avg_read_latency().unwrap_or(slow_tier.idle_latency_cycles),
                 ComponentStalls::from_signature(&sig_s),
             ),
             baseline_cycles: dram.cycles,
@@ -293,7 +294,10 @@ pub struct BestShot {
 /// (Best-shot never needs iterative *execution* — the search is over the
 /// closed-form curve).
 pub fn best_shot(model: &InterleaveModel) -> BestShot {
-    let mut best = BestShot { ratio: 1.0, predicted_slowdown: model.predict_total(1.0) };
+    let mut best = BestShot {
+        ratio: 1.0,
+        predicted_slowdown: model.predict_total(1.0),
+    };
     for i in 0..=100 {
         let x = i as f64 / 100.0;
         let s = model.predict_total(x);
@@ -436,10 +440,7 @@ mod tests {
         for i in 0..=10 {
             let x = i as f64 / 10.0;
             let components = model.predict_components(x);
-            assert!(
-                (components.total() - model.predict_total(x)).abs() < 1e-12,
-                "x = {x}"
-            );
+            assert!((components.total() - model.predict_total(x)).abs() < 1e-12, "x = {x}");
         }
     }
 

@@ -11,7 +11,6 @@
 //! - [`signature`] defines the counter-to-model-input mapping (§4.4.3) and
 //!   the Melody-style ground-truth attribution used for evaluation.
 
-
 #![warn(missing_docs)]
 pub mod baselines;
 pub mod calibration;

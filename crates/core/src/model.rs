@@ -163,10 +163,7 @@ impl CampPredictor {
         if report.seconds <= 0.0 {
             return 0.0;
         }
-        let device = self
-            .calibration
-            .device
-            .config_for(self.calibration.platform);
+        let device = self.calibration.device.config_for(self.calibration.platform);
         let threads = report.threads as f64;
         let stats = &report.fast_tier.stats;
         let read_seconds = stats.read_bytes() as f64 * threads / device.read_bw;
@@ -230,8 +227,8 @@ mod tests {
 
     #[test]
     fn components_follow_their_equations() {
-        let predictor = CampPredictor::new(synthetic_calibration())
-            .with_transfer(DrdTransfer::HyperbolicAol);
+        let predictor =
+            CampPredictor::new(synthetic_calibration()).with_transfer(DrdTransfer::HyperbolicAol);
         let sig = signature(500.0, 100.0, 50.0, 280.0, 2.0, 0.4, 0.5);
         let pred = predictor.predict_signature(&sig);
         let f = 1.0 / (1.2 + 40.0 / 140.0); // hyperbola at L/MLP = 140
@@ -243,8 +240,7 @@ mod tests {
 
     #[test]
     fn derived_transfer_discounts_llc_resident_latencies() {
-        let transfer =
-            DerivedLatencyTransfer { dram_idle: 239.4, slow_idle: 449.4, l3_hit: 52.0 };
+        let transfer = DerivedLatencyTransfer { dram_idle: 239.4, slow_idle: 449.4, l3_hit: 52.0 };
         // At the L3 hit latency, the slow tier adds nothing.
         assert_eq!(transfer.eval(52.0), 0.0);
         // At the DRAM idle latency, the full idle-latency gap applies.

@@ -166,7 +166,10 @@ impl Hyperbola {
             }
         }
         if let Some(seed) = Self::fit(x, y) {
-            let candidate = Hyperbola { p: seed.p.clamp(0.01, 100.0), q: seed.q.clamp(1e-6, 1e6) };
+            let candidate = Hyperbola {
+                p: seed.p.clamp(0.01, 100.0),
+                q: seed.q.clamp(1e-6, 1e6),
+            };
             let err = sse(&candidate);
             if err < best_err {
                 best = candidate;
@@ -236,11 +239,7 @@ pub struct ErrorSummary {
 pub fn error_summary(predicted: &[f64], actual: &[f64]) -> ErrorSummary {
     assert_eq!(predicted.len(), actual.len(), "samples must pair up");
     assert!(!predicted.is_empty(), "need at least one sample");
-    let mut errs: Vec<f64> = predicted
-        .iter()
-        .zip(actual)
-        .map(|(p, a)| (p - a).abs())
-        .collect();
+    let mut errs: Vec<f64> = predicted.iter().zip(actual).map(|(p, a)| (p - a).abs()).collect();
     errs.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
     let count = errs.len();
     let within = |t: f64| errs.iter().filter(|&&e| e <= t).count() as f64 / count as f64;

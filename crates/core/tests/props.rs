@@ -1,24 +1,24 @@
-//! Property tests for the CAMP model math.
+//! Randomised property tests for the CAMP model math, driven by the
+//! deterministic SplitMix64 from `camp-workloads` (no external test
+//! dependencies).
 
 use camp_core::interleave::{ComponentStalls, InterleaveModel, TierEndpoint};
 use camp_core::stats::{self, Hyperbola};
 use camp_core::{Calibration, CampPredictor, Signature, SlowdownPrediction};
 use camp_pmu::{CounterSet, Event};
 use camp_sim::{CounterFlavor, DeviceKind, Platform};
-use proptest::prelude::*;
+use camp_workloads::rng::SplitMix;
 
-fn arb_counters() -> impl Strategy<Value = CounterSet> {
-    prop::collection::vec(0u64..1_000_000_000, camp_pmu::event::EVENT_COUNT).prop_map(|values| {
-        let mut set = CounterSet::new();
-        for (event, value) in camp_pmu::event::ALL_EVENTS.iter().zip(values) {
-            set.set(*event, value);
-        }
-        // Keep cycles positive so fractions are well-defined.
-        if set.get(Event::Cycles) == 0 {
-            set.set(Event::Cycles, 1);
-        }
-        set
-    })
+fn arb_counters(rng: &mut SplitMix) -> CounterSet {
+    let mut set = CounterSet::new();
+    for event in camp_pmu::event::ALL_EVENTS.iter() {
+        set.set(*event, rng.below(1_000_000_000));
+    }
+    // Keep cycles positive so fractions are well-defined.
+    if set.get(Event::Cycles) == 0 {
+        set.set(Event::Cycles, 1);
+    }
+    set
 }
 
 fn synthetic_calibration() -> Calibration {
@@ -37,77 +37,103 @@ fn synthetic_calibration() -> Calibration {
     }
 }
 
-proptest! {
-    /// Pearson is always within [-1, 1] when defined.
-    #[test]
-    fn pearson_is_bounded(pairs in prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 2..200)) {
-        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+/// Pearson is always within [-1, 1] when defined.
+#[test]
+fn pearson_is_bounded() {
+    let mut rng = SplitMix::new(0xbea2);
+    for case in 0..64 {
+        let len = 2 + rng.below(198) as usize;
+        let x: Vec<f64> = (0..len).map(|_| (rng.unit() - 0.5) * 2e6).collect();
+        let y: Vec<f64> = (0..len).map(|_| (rng.unit() - 0.5) * 2e6).collect();
         if let Some(r) = stats::pearson(&x, &y) {
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {}", r);
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "case {case}: r = {r}");
         }
     }
+}
 
-    /// The hyperbolic fit recovers exact parameters from noiseless data.
-    #[test]
-    fn hyperbola_fit_recovers_truth(p in 0.2f64..5.0, q in 1.0f64..500.0) {
+/// The hyperbolic fit recovers exact parameters from noiseless data.
+#[test]
+fn hyperbola_fit_recovers_truth() {
+    let mut rng = SplitMix::new(0x44fe);
+    for case in 0..64 {
+        let p = 0.2 + rng.unit() * 4.8;
+        let q = 1.0 + rng.unit() * 499.0;
         let truth = Hyperbola { p, q };
         let xs: Vec<f64> = (1..30).map(|i| i as f64 * 12.0).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| truth.eval(x)).collect();
         let fit = Hyperbola::fit(&xs, &ys).expect("fit succeeds");
-        prop_assert!((fit.p - p).abs() < 1e-6 * p.max(1.0), "p {} vs {}", fit.p, p);
-        prop_assert!((fit.q - q).abs() < 1e-4 * q.max(1.0), "q {} vs {}", fit.q, q);
+        assert!((fit.p - p).abs() < 1e-6 * p.max(1.0), "case {case}: p {} vs {}", fit.p, p);
+        assert!((fit.q - q).abs() < 1e-4 * q.max(1.0), "case {case}: q {} vs {}", fit.q, q);
     }
+}
 
-    /// The predictor never produces NaN/negative components, whatever the
-    /// counter values.
-    #[test]
-    fn predictions_are_finite_and_nonnegative(counters in arb_counters()) {
-        let predictor = CampPredictor::new(synthetic_calibration());
+/// The predictor never produces NaN/negative components, whatever the
+/// counter values.
+#[test]
+fn predictions_are_finite_and_nonnegative() {
+    let mut rng = SplitMix::new(0x9afe);
+    let predictor = CampPredictor::new(synthetic_calibration());
+    for case in 0..64 {
+        let counters = arb_counters(&mut rng);
         let prediction: SlowdownPrediction = predictor.predict(&counters);
-        prop_assert!(prediction.drd.is_finite() && prediction.drd >= 0.0);
-        prop_assert!(prediction.cache.is_finite() && prediction.cache >= 0.0);
-        prop_assert!(prediction.store.is_finite() && prediction.store >= 0.0);
+        assert!(prediction.drd.is_finite() && prediction.drd >= 0.0, "case {case}");
+        assert!(prediction.cache.is_finite() && prediction.cache >= 0.0, "case {case}");
+        assert!(prediction.store.is_finite() && prediction.store >= 0.0, "case {case}");
         // Signatures stay finite too.
         let sig = Signature::from_counters(&counters, CounterFlavor::SprEmr);
-        prop_assert!(sig.latency.is_finite());
-        prop_assert!(sig.mlp.is_finite());
-        prop_assert!(sig.r_lfb_hit.is_finite() && (0.0..=1.0).contains(&sig.r_lfb_hit));
+        assert!(sig.latency.is_finite(), "case {case}");
+        assert!(sig.mlp.is_finite(), "case {case}");
+        assert!(sig.r_lfb_hit.is_finite() && (0.0..=1.0).contains(&sig.r_lfb_hit), "case {case}");
     }
+}
 
-    /// Load scaling M(x') interpolates its endpoints: M(0) = 0, M(1) = 1,
-    /// and stays within [0, 1] in between for any endpoint latencies.
-    #[test]
-    fn load_scale_is_well_behaved(idle in 10.0f64..1_000.0, extra in 0.0f64..5_000.0) {
+/// Load scaling M(x') interpolates its endpoints: M(0) = 0, M(1) = 1, and
+/// stays within [0, 1] in between for any endpoint latencies.
+#[test]
+fn load_scale_is_well_behaved() {
+    let mut rng = SplitMix::new(0x10ad);
+    for case in 0..64 {
+        let idle = 10.0 + rng.unit() * 990.0;
+        let extra = rng.unit() * 5_000.0;
         let tier = TierEndpoint::new(idle, idle + extra, ComponentStalls::default());
-        prop_assert!(tier.load_scale(0.0).abs() < 1e-12);
-        prop_assert!((tier.load_scale(1.0) - 1.0).abs() < 1e-9);
+        assert!(tier.load_scale(0.0).abs() < 1e-12, "case {case}");
+        assert!((tier.load_scale(1.0) - 1.0).abs() < 1e-9, "case {case}");
         for i in 1..10 {
             let x = i as f64 / 10.0;
             let m = tier.load_scale(x);
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&m), "M({}) = {}", x, m);
+            assert!((0.0..=1.0 + 1e-9).contains(&m), "case {case}: M({x}) = {m}");
         }
     }
+}
 
-    /// The interleaving predictor recovers its endpoints exactly for any
-    /// endpoint stalls.
-    #[test]
-    fn interleave_endpoints_are_exact(
-        idle_d in 50.0f64..500.0,
-        idle_s in 200.0f64..2_000.0,
-        s_d in 0.0f64..1e6,
-        s_s in 0.0f64..1e6,
-        c in 1e5f64..1e7,
-    ) {
+/// The interleaving predictor recovers its endpoints exactly for any
+/// endpoint stalls.
+#[test]
+fn interleave_endpoints_are_exact() {
+    let mut rng = SplitMix::new(0x1e4f);
+    for case in 0..64 {
+        let idle_d = 50.0 + rng.unit() * 450.0;
+        let idle_s = 200.0 + rng.unit() * 1_800.0;
+        let s_d = rng.unit() * 1e6;
+        let s_s = rng.unit() * 1e6;
+        let c = 1e5 + rng.unit() * (1e7 - 1e5);
         let model = InterleaveModel {
-            dram: TierEndpoint::new(idle_d, idle_d, ComponentStalls { llc: s_d, cache: 0.0, sb: 0.0 }),
-            slow: TierEndpoint::new(idle_s, idle_s, ComponentStalls { llc: s_s, cache: 0.0, sb: 0.0 }),
+            dram: TierEndpoint::new(
+                idle_d,
+                idle_d,
+                ComponentStalls { llc: s_d, cache: 0.0, sb: 0.0 },
+            ),
+            slow: TierEndpoint::new(
+                idle_s,
+                idle_s,
+                ComponentStalls { llc: s_s, cache: 0.0, sb: 0.0 },
+            ),
             baseline_cycles: c,
             boundness: camp_core::Boundness::LatencyBound,
             profiling_runs: 1,
         };
-        prop_assert!(model.predict_total(1.0).abs() < 1e-9);
+        assert!(model.predict_total(1.0).abs() < 1e-9, "case {case}");
         let endpoint = model.predict_total(0.0);
-        prop_assert!((endpoint - (s_s - s_d) / c).abs() < 1e-9);
+        assert!((endpoint - (s_s - s_d) / c).abs() < 1e-9, "case {case}");
     }
 }

@@ -28,29 +28,20 @@ pub fn demand_read_latency(c: &CounterSet) -> Option<f64> {
 
 /// Memory-level parallelism of demand reads: `P11 / P13`.
 pub fn mlp(c: &CounterSet) -> Option<f64> {
-    ratio(
-        c.get_f64(Event::OroDemandRd),
-        c.get_f64(Event::OroCycWDemandRd),
-    )
+    ratio(c.get_f64(Event::OroDemandRd), c.get_f64(Event::OroCycWDemandRd))
 }
 
 /// The paper's latency-tolerance signal `L / MLP`, which simplifies to
 /// `P13 / P12` (cycles-with-outstanding per request). SoarAlto calls this
 /// metric AOL.
 pub fn aol(c: &CounterSet) -> Option<f64> {
-    ratio(
-        c.get_f64(Event::OroCycWDemandRd),
-        c.get_f64(Event::OrDemandRd),
-    )
+    ratio(c.get_f64(Event::OroCycWDemandRd), c.get_f64(Event::OrDemandRd))
 }
 
 /// Offcore demand-read misses per kilo-instruction (Memstrata's hotness
 /// signal).
 pub fn mpki(c: &CounterSet) -> Option<f64> {
-    ratio(
-        1000.0 * c.get_f64(Event::OrDemandRd),
-        c.get_f64(Event::Instructions),
-    )
+    ratio(1000.0 * c.get_f64(Event::OrDemandRd), c.get_f64(Event::Instructions))
 }
 
 /// Instructions per cycle.
@@ -90,10 +81,7 @@ pub fn r_mem_skx(c: &CounterSet) -> Option<f64> {
 /// SPR/EMR approximation of prefetch-from-memory reliance (§4.4.3):
 /// `(P14/P15) * (P16/(P16+P17))`.
 pub fn r_mem_spr(c: &CounterSet) -> Option<f64> {
-    let share = ratio(
-        c.get_f64(Event::LlcLookupPfRd),
-        c.get_f64(Event::LlcLookupAll),
-    )?;
+    let share = ratio(c.get_f64(Event::LlcLookupPfRd), c.get_f64(Event::LlcLookupAll))?;
     let miss = ratio(
         c.get_f64(Event::TorInsIaPref),
         c.get_f64(Event::TorInsIaPref) + c.get_f64(Event::TorInsIaHitPref),

@@ -25,7 +25,6 @@
 //! assert_eq!(camp_pmu::derived::mlp(&counters), Some(8.0));
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod derived;
 pub mod event;

@@ -190,9 +190,8 @@ mod tests {
     #[test]
     fn merge_accumulates() {
         let mut total = CounterSet::new();
-        let epoch: CounterSet = [(Event::Instructions, 10), (Event::Cycles, 20)]
-            .into_iter()
-            .collect();
+        let epoch: CounterSet =
+            [(Event::Instructions, 10), (Event::Cycles, 20)].into_iter().collect();
         total.merge(&epoch);
         total.merge(&epoch);
         assert_eq!(total[Event::Instructions], 20);

@@ -44,9 +44,8 @@ impl TieringPolicy for BestShotPolicy {
     ///
     /// Panics if the context has no calibrated predictor.
     fn place(&self, ctx: &PolicyContext<'_>, workload: &dyn Workload) -> Placement {
-        let predictor = ctx
-            .predictor
-            .expect("Best-shot requires a calibrated predictor in the context");
+        let predictor =
+            ctx.predictor.expect("Best-shot requires a calibrated predictor in the context");
         let model =
             InterleaveModel::profile(ctx.platform, ctx.device, workload, predictor, DEFAULT_TAU);
         self.runs_used.set(model.profiling_runs);

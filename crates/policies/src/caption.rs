@@ -32,10 +32,7 @@ impl Caption {
     /// Panics if `candidates` is empty or contains out-of-range ratios.
     pub fn new(candidates: Vec<f64>) -> Self {
         assert!(!candidates.is_empty(), "need at least one candidate ratio");
-        assert!(
-            candidates.iter().all(|x| (0.0..=1.0).contains(x)),
-            "ratios must be in [0,1]"
-        );
+        assert!(candidates.iter().all(|x| (0.0..=1.0).contains(x)), "ratios must be in [0,1]");
         Caption { candidates, probes_used: Cell::new(0) }
     }
 }

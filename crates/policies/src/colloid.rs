@@ -95,7 +95,11 @@ pub struct Alto {
 
 impl Default for Alto {
     fn default() -> Self {
-        Alto { iterations: 6, mlp_threshold: 4.0, probes_used: Cell::new(0) }
+        Alto {
+            iterations: 6,
+            mlp_threshold: 4.0,
+            probes_used: Cell::new(0),
+        }
     }
 }
 
@@ -165,14 +169,9 @@ mod tests {
     fn alto_moves_less_than_colloid_under_high_mlp() {
         let ctx = PolicyContext::new(Platform::Skx2s, DeviceKind::CxlA);
         let stream = camp_workloads::find("mlc.stream-8t-c0").expect("in suite");
-        let colloid_frac = Colloid::default()
-            .place(&ctx, &stream)
-            .fast_fraction()
-            .expect("static ratio");
-        let alto_frac = Alto::default()
-            .place(&ctx, &stream)
-            .fast_fraction()
-            .expect("static ratio");
+        let colloid_frac =
+            Colloid::default().place(&ctx, &stream).fast_fraction().expect("static ratio");
+        let alto_frac = Alto::default().place(&ctx, &stream).fast_fraction().expect("static ratio");
         // Damped steps keep Alto closer to the 0.8 starting point.
         assert!(
             (alto_frac - 0.8).abs() <= (colloid_frac - 0.8).abs() + 1e-9,

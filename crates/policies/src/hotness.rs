@@ -45,16 +45,14 @@ fn top_pages<K: Ord>(
     let total_accesses: u64 = pages.values().map(|s| s.accesses).sum();
     let mut ranked: Vec<(&u64, &PageStats)> = pages.iter().collect();
     ranked.sort_by(|a, b| key(b.1).cmp(&key(a.1)).then(a.0.cmp(b.0)));
-    let chosen: Vec<(&u64, &PageStats)> =
-        ranked.into_iter().take(capacity as usize).collect();
+    let chosen: Vec<(&u64, &PageStats)> = ranked.into_iter().take(capacity as usize).collect();
     let fast_accesses: u64 = chosen.iter().map(|(_, s)| s.accesses).sum();
     let traffic_share = if total_accesses > 0 {
         fast_accesses as f64 / total_accesses as f64
     } else {
         1.0
     };
-    let pages: std::collections::HashSet<u64> =
-        chosen.into_iter().map(|(&page, _)| page).collect();
+    let pages: std::collections::HashSet<u64> = chosen.into_iter().map(|(&page, _)| page).collect();
     Placement::FastPageSet { pages, traffic_share }
 }
 

@@ -71,13 +71,8 @@ impl TieringPolicy for HybridCamp {
             hot_accesses += accesses;
         }
         // Best-shot ratio for the cold remainder.
-        let model = InterleaveModel::profile(
-            ctx.platform,
-            ctx.device,
-            workload,
-            predictor,
-            DEFAULT_TAU,
-        );
+        let model =
+            InterleaveModel::profile(ctx.platform, ctx.device, workload, predictor, DEFAULT_TAU);
         self.runs_used.set(model.profiling_runs + 1);
         let ratio = best_shot(&model).ratio;
         let total_pages = pages.len() as u64;

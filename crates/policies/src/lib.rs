@@ -18,7 +18,6 @@
 //! of the footprint fits in DRAM), matching §6.2.1; Best-shot uses only
 //! its analytically chosen ratio.
 
-
 #![warn(missing_docs)]
 pub mod bestshot;
 pub mod caption;
@@ -30,11 +29,11 @@ pub mod policy;
 pub mod staticpol;
 
 pub use bestshot::BestShotPolicy;
-pub use hybrid::HybridCamp;
 pub use caption::Caption;
 pub use colloid::{Alto, Colloid};
 pub use evaluate::{evaluate_policy, PolicyResult};
 pub use hotness::{Nbt, Soar};
+pub use hybrid::HybridCamp;
 pub use policy::{PolicyContext, TieringPolicy};
 pub use staticpol::{FirstTouch, Interleave1to1};
 

@@ -21,7 +21,12 @@ pub struct PolicyContext<'a> {
 impl<'a> PolicyContext<'a> {
     /// Standard §6.2.1 context: 4:1 fast:slow provisioning.
     pub fn new(platform: Platform, device: DeviceKind) -> Self {
-        PolicyContext { platform, device, fast_capacity_fraction: 0.8, predictor: None }
+        PolicyContext {
+            platform,
+            device,
+            fast_capacity_fraction: 0.8,
+            predictor: None,
+        }
     }
 
     /// Attaches a calibrated predictor (required by Best-shot).

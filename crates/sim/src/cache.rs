@@ -62,10 +62,7 @@ impl Cache {
     /// Panics if the geometry has zero ways or fewer lines than ways.
     pub fn new(geometry: CacheGeometry) -> Self {
         assert!(geometry.ways > 0, "cache must have at least one way");
-        assert!(
-            geometry.lines() >= geometry.ways as u64,
-            "cache smaller than one set"
-        );
+        assert!(geometry.lines() >= geometry.ways as u64, "cache smaller than one set");
         assert!(geometry.ways <= 64, "associativity above 64 unsupported");
         let sets = geometry.sets();
         let slots = (sets * geometry.ways as u64) as usize;
@@ -165,9 +162,7 @@ impl Cache {
             }
         }
         // Evict the LRU way (highest rank).
-        let victim_way = (0..self.ways)
-            .max_by_key(|&w| self.lru[base + w])
-            .expect("ways > 0");
+        let victim_way = (0..self.ways).max_by_key(|&w| self.lru[base + w]).expect("ways > 0");
         let slot = base + victim_way;
         let eviction = Eviction {
             line_addr: self.tags[slot],

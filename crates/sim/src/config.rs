@@ -200,7 +200,11 @@ impl PlatformConfig {
                 counter_flavor: CounterFlavor::SprEmr,
                 l1: CacheGeometry { capacity_bytes: kib(48), ways: 12, hit_latency: 5 },
                 l2: CacheGeometry { capacity_bytes: mib(2), ways: 16, hit_latency: 15 },
-                l3: CacheGeometry { capacity_bytes: mib(160), ways: 16, hit_latency: 56 },
+                l3: CacheGeometry {
+                    capacity_bytes: mib(160),
+                    ways: 16,
+                    hit_latency: 56,
+                },
                 lfb_entries: 16,
                 sq_entries: 32,
                 uncore_pf_entries: 64,
@@ -254,8 +258,12 @@ pub enum DeviceKind {
 impl DeviceKind {
     /// The four slow tiers evaluated in the paper (NUMA plus three CXL
     /// expanders), in evaluation order.
-    pub const SLOW_TIERS: [DeviceKind; 4] =
-        [DeviceKind::Numa, DeviceKind::CxlA, DeviceKind::CxlB, DeviceKind::CxlC];
+    pub const SLOW_TIERS: [DeviceKind; 4] = [
+        DeviceKind::Numa,
+        DeviceKind::CxlA,
+        DeviceKind::CxlB,
+        DeviceKind::CxlC,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {

@@ -139,6 +139,11 @@ impl Machine {
 
     /// Runs a workload to completion and reports counters and statistics.
     ///
+    /// Hot-path buffers (fill slab, prefetch candidate lists, ROB history,
+    /// the MLP sweep heap) are reused across runs through a thread-local
+    /// scratch arena, so sweeping many workloads on one thread allocates
+    /// only once; runs on different threads are fully independent.
+    ///
     /// # Panics
     ///
     /// Panics if the placement routes pages to a slow tier but no slow
@@ -148,8 +153,41 @@ impl Machine {
             !self.placement.uses_slow_tier() || self.slow_kind.is_some(),
             "placement needs a slow tier but none is configured"
         );
-        Engine::new(self, workload).execute(workload)
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            Engine::new(self, workload, &mut scratch).execute(workload)
+        })
     }
+}
+
+/// Reusable engine buffers, kept per thread so consecutive runs pay no
+/// allocation churn (clear-don't-drop: `Engine::new` clears contents but
+/// keeps capacity).
+#[derive(Debug, Default)]
+struct Scratch {
+    fills: BinaryHeap<Reverse<(Time, u64)>>,
+    fill_slab: Vec<Fill>,
+    pf_candidates: Vec<u64>,
+    l2pf_candidates: Vec<u64>,
+    recent_load_completions: VecDeque<f64>,
+    rob_history: VecDeque<(u64, f64)>,
+    sweep: MlpSweep,
+}
+
+impl Scratch {
+    fn clear(&mut self) {
+        self.fills.clear();
+        self.fill_slab.clear();
+        self.pf_candidates.clear();
+        self.l2pf_candidates.clear();
+        self.recent_load_completions.clear();
+        self.rob_history.clear();
+        self.sweep.reset();
+    }
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::default());
 }
 
 /// Pending cache-fill event.
@@ -191,23 +229,19 @@ struct Engine<'a> {
     fast: Device,
     slow: Option<Device>,
     placement: PlacementState,
-    fills: BinaryHeap<Reverse<(Time, u64)>>,
-    fill_slab: Vec<Fill>,
-    sweep: MlpSweep,
+    scratch: &'a mut Scratch,
     stalls: StallAccum,
     issue_cursor: f64,
     retire_t: f64,
-    recent_load_completions: VecDeque<f64>,
     inst_count: u64,
-    rob_history: VecDeque<(u64, f64)>,
     rob_floor: f64,
     sampler: Option<EpochSampler>,
-    pf_candidates: Vec<u64>,
     retire_cost: f64,
 }
 
 impl<'a> Engine<'a> {
-    fn new(machine: &'a Machine, workload: &dyn Workload) -> Self {
+    fn new(machine: &'a Machine, workload: &dyn Workload, scratch: &'a mut Scratch) -> Self {
+        scratch.clear();
         let cfg = &machine.platform;
         let threads = workload.threads().max(1);
         // The LLC is shared: each of the symmetric threads gets an equal
@@ -226,12 +260,7 @@ impl<'a> Engine<'a> {
         let fast_sharers = 1.0 + (threads - 1) as f64 * fast_fraction;
         let slow_sharers = 1.0 + (threads - 1) as f64 * (1.0 - fast_fraction);
         let slow = machine.slow_kind.map(|kind| {
-            Device::new(
-                kind.config_for(cfg.platform),
-                cfg,
-                slow_sharers,
-                machine.slow_background,
-            )
+            Device::new(kind.config_for(cfg.platform), cfg, slow_sharers, machine.slow_background)
         });
         Engine {
             cfg,
@@ -249,18 +278,13 @@ impl<'a> Engine<'a> {
             fast: Device::new(cfg.dram, cfg, fast_sharers, machine.fast_background),
             slow,
             placement: PlacementState::new(machine.placement.clone()),
-            fills: BinaryHeap::new(),
-            fill_slab: Vec::new(),
-            sweep: MlpSweep::new(),
+            scratch,
             stalls: StallAccum::default(),
             issue_cursor: 0.0,
             retire_t: 0.0,
-            recent_load_completions: VecDeque::with_capacity(64),
             inst_count: 0,
-            rob_history: VecDeque::new(),
             rob_floor: 0.0,
             sampler: machine.epoch_period.map(EpochSampler::new),
-            pf_candidates: Vec::new(),
             retire_cost: 1.0 / cfg.retire_width as f64,
         }
     }
@@ -268,20 +292,20 @@ impl<'a> Engine<'a> {
     // ---- fills --------------------------------------------------------
 
     fn schedule_fill(&mut self, time: f64, line: u64, levels: u8, dirty: bool) {
-        let idx = self.fill_slab.len() as u64;
-        self.fill_slab.push(Fill { line, levels, dirty });
-        self.fills.push(Reverse((Time(time), idx)));
+        let idx = self.scratch.fill_slab.len() as u64;
+        self.scratch.fill_slab.push(Fill { line, levels, dirty });
+        self.scratch.fills.push(Reverse((Time(time), idx)));
     }
 
     /// Installs all fills due by `now` into the cache hierarchy, cascading
     /// dirty victims downward (and to the devices for L3 victims).
     fn apply_fills(&mut self, now: f64) {
-        while let Some(&Reverse((Time(t), idx))) = self.fills.peek() {
+        while let Some(&Reverse((Time(t), idx))) = self.scratch.fills.peek() {
             if t > now {
                 break;
             }
-            self.fills.pop();
-            let fill = self.fill_slab[idx as usize];
+            self.scratch.fills.pop();
+            let fill = self.scratch.fill_slab[idx as usize];
             if fill.levels & FILL_L3 != 0 {
                 self.install_l3(fill.line, fill.dirty && fill.levels == FILL_L3, t);
             }
@@ -291,6 +315,12 @@ impl<'a> Engine<'a> {
             if fill.levels & FILL_L1 != 0 {
                 self.install_l1(fill.line, fill.dirty, t);
             }
+        }
+        // Slab entries are addressed only through the heap: once it drains,
+        // recycle the slab so it stays bounded by the in-flight window
+        // instead of growing with the run length.
+        if self.scratch.fills.is_empty() {
+            self.scratch.fill_slab.clear();
         }
     }
 
@@ -325,10 +355,7 @@ impl<'a> Engine<'a> {
     fn device(&mut self, tier: TierId) -> &mut Device {
         match tier {
             TierId::Fast => &mut self.fast,
-            TierId::Slow => self
-                .slow
-                .as_mut()
-                .expect("slow tier accessed without a slow device"),
+            TierId::Slow => self.slow.as_mut().expect("slow tier accessed without a slow device"),
         }
     }
 
@@ -364,7 +391,7 @@ impl<'a> Engine<'a> {
 
     /// Issues L1 hardware prefetches for candidate lines (line numbers).
     fn issue_l1_prefetches(&mut self, now: f64) {
-        let candidates = std::mem::take(&mut self.pf_candidates);
+        let candidates = std::mem::take(&mut self.scratch.pf_candidates);
         for &line_no in &candidates {
             let line = line_no * LINE_BYTES;
             if self.l1.peek(line) || self.lfb.lookup(line, now).is_some() {
@@ -409,14 +436,15 @@ impl<'a> Engine<'a> {
             self.uncore_pf.allocate(line, fill, WaitClass::Prefetch);
             self.lfb.allocate(line, fill, WaitClass::Prefetch);
         }
-        self.pf_candidates = candidates;
+        self.scratch.pf_candidates = candidates;
     }
 
     /// Trains the L2 prefetcher on an L2 access and issues its candidates.
     fn train_l2_prefetcher(&mut self, line_no: u64, now: f64) {
-        let mut candidates = Vec::new();
+        let mut candidates = std::mem::take(&mut self.scratch.l2pf_candidates);
+        candidates.clear();
         self.l2pf.on_access(line_no, &mut candidates);
-        for line_no in candidates {
+        for &line_no in &candidates {
             let line = line_no * LINE_BYTES;
             if self.l2.peek(line)
                 || self.sq.lookup(line, now).is_some()
@@ -446,6 +474,7 @@ impl<'a> Engine<'a> {
             };
             self.uncore_pf.allocate(line, fill, WaitClass::Prefetch);
         }
+        self.scratch.l2pf_candidates = candidates;
     }
 
     // ---- demand load --------------------------------------------------
@@ -477,19 +506,15 @@ impl<'a> Engine<'a> {
                 (fill, WaitClass::DemandL2)
             } else {
                 self.train_l2_prefetcher(line_no, alloc_t);
-                let inbound = self
-                    .uncore_pf
-                    .lookup(line, alloc_t)
-                    .or_else(|| self.sq.lookup(line, alloc_t));
+                let inbound =
+                    self.uncore_pf.lookup(line, alloc_t).or_else(|| self.sq.lookup(line, alloc_t));
                 if let Some(entry) = inbound {
                     // Line already inbound from a prefetcher: the load is
                     // served by a transient fill buffer, not a cache —
                     // Intel's FB_HIT semantics — and the wait is a
                     // late-prefetch (cache-slowdown) stall.
                     self.counters.incr(Event::LfbHit);
-                    let fill = entry
-                        .fill_time
-                        .max(alloc_t + self.cfg.l2.hit_latency as f64);
+                    let fill = entry.fill_time.max(alloc_t + self.cfg.l2.hit_latency as f64);
                     self.lfb.allocate(line, fill, WaitClass::Prefetch);
                     self.schedule_fill(fill, line, FILL_L1, false);
                     (fill, WaitClass::Prefetch)
@@ -511,7 +536,7 @@ impl<'a> Engine<'a> {
                     };
                     // Offcore demand read: occupancy interval for the
                     // latency/MLP counters.
-                    self.sweep.insert(sq_t, fill);
+                    self.scratch.sweep.insert(sq_t, fill);
                     self.sq.allocate(line, fill, class);
                     self.lfb.allocate(line, fill, class);
                     (fill, class)
@@ -520,10 +545,10 @@ impl<'a> Engine<'a> {
         };
 
         // Train the L1 prefetcher on every demand load and issue.
-        let mut candidates = std::mem::take(&mut self.pf_candidates);
+        let mut candidates = std::mem::take(&mut self.scratch.pf_candidates);
         self.l1pf.on_access(line_no, &mut candidates);
-        self.pf_candidates = candidates;
-        if !self.pf_candidates.is_empty() {
+        self.scratch.pf_candidates = candidates;
+        if !self.scratch.pf_candidates.is_empty() {
             self.issue_l1_prefetches(issue_t);
         }
         result
@@ -592,7 +617,7 @@ impl<'a> Engine<'a> {
         c.set(Event::StallsL2Miss, self.stalls.l2.round() as u64);
         c.set(Event::StallsL3Miss, self.stalls.l3.round() as u64);
         c.set(Event::BoundOnStores, self.stalls.sb.round() as u64);
-        let (p11, p12, p13) = self.sweep.snapshot(self.retire_t);
+        let (p11, p12, p13) = self.scratch.sweep.snapshot(self.retire_t);
         c.set(Event::OroDemandRd, p11.round() as u64);
         c.set(Event::OrDemandRd, p12);
         c.set(Event::OroCycWDemandRd, p13.round() as u64);
@@ -606,10 +631,7 @@ impl<'a> Engine<'a> {
         self.flush_counters();
         let counters = self.counters.clone();
         let t = self.retire_t as u64;
-        self.sampler
-            .as_mut()
-            .expect("sampler present")
-            .observe(t, &counters);
+        self.sampler.as_mut().expect("sampler present").observe(t, &counters);
     }
 
     // ---- main loop ----------------------------------------------------
@@ -619,10 +641,10 @@ impl<'a> Engine<'a> {
         for op in workload.ops() {
             // Scheduler window: instruction i may issue only once
             // instruction i - sched_window has retired.
-            while let Some(&(idx, t)) = self.rob_history.front() {
+            while let Some(&(idx, t)) = self.scratch.rob_history.front() {
                 if idx + window <= self.inst_count {
                     self.rob_floor = self.rob_floor.max(t);
-                    self.rob_history.pop_front();
+                    self.scratch.rob_history.pop_front();
                 } else {
                     break;
                 }
@@ -630,30 +652,29 @@ impl<'a> Engine<'a> {
             match op {
                 Op::Compute { cycles } => {
                     let cycles = cycles as f64;
-                    self.issue_cursor = (self.issue_cursor
-                        + cycles * self.retire_cost)
-                        .max(self.rob_floor);
+                    self.issue_cursor =
+                        (self.issue_cursor + cycles * self.retire_cost).max(self.rob_floor);
                     self.retire_t += cycles;
                     self.inst_count += op.instructions();
                 }
                 Op::Load { addr, dep } => {
-                    let mut issue_t = (self.issue_cursor + self.retire_cost)
-                        .max(self.rob_floor);
+                    let mut issue_t = (self.issue_cursor + self.retire_cost).max(self.rob_floor);
                     if dep > 0 {
                         // Depend on the dep-th previous load's data.
-                        let n = self.recent_load_completions.len();
-                        if let Some(&ready) =
-                            n.checked_sub(dep as usize).and_then(|i| self.recent_load_completions.get(i))
+                        let n = self.scratch.recent_load_completions.len();
+                        if let Some(&ready) = n
+                            .checked_sub(dep as usize)
+                            .and_then(|i| self.scratch.recent_load_completions.get(i))
                         {
                             issue_t = issue_t.max(ready);
                         }
                     }
                     self.issue_cursor = issue_t;
                     let (complete, class) = self.demand_load(addr, issue_t);
-                    if self.recent_load_completions.len() == 64 {
-                        self.recent_load_completions.pop_front();
+                    if self.scratch.recent_load_completions.len() == 64 {
+                        self.scratch.recent_load_completions.pop_front();
                     }
-                    self.recent_load_completions.push_back(complete);
+                    self.scratch.recent_load_completions.push_back(complete);
                     let natural = self.retire_t + self.retire_cost;
                     if complete > natural {
                         self.attribute_stall(class, complete - natural);
@@ -664,15 +685,14 @@ impl<'a> Engine<'a> {
                     self.inst_count += 1;
                 }
                 Op::Store { addr } => {
-                    self.issue_cursor =
-                        (self.issue_cursor + self.retire_cost).max(self.rob_floor);
+                    self.issue_cursor = (self.issue_cursor + self.retire_cost).max(self.rob_floor);
                     let natural = self.retire_t + self.retire_cost;
                     let admit_t = self.store(addr, natural);
                     self.retire_t = admit_t.max(natural);
                     self.inst_count += 1;
                 }
             }
-            self.rob_history.push_back((self.inst_count, self.retire_t));
+            self.scratch.rob_history.push_back((self.inst_count, self.retire_t));
             self.maybe_sample();
         }
         self.finish(workload)
@@ -705,10 +725,7 @@ impl<'a> Engine<'a> {
                 idle_latency_cycles: self.fast.idle_latency(),
             },
             slow_tier,
-            epochs: self
-                .sampler
-                .map(|s| s.into_epochs())
-                .unwrap_or_default(),
+            epochs: self.sampler.map(|s| s.into_epochs()).unwrap_or_default(),
         }
     }
 }
@@ -798,9 +815,10 @@ mod tests {
         }
         fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
             let compute = self.compute;
-            Box::new((0..self.bytes / 8).flat_map(move |i| {
-                [Op::load(i * 8), Op::compute(compute)].into_iter()
-            }))
+            Box::new(
+                (0..self.bytes / 8)
+                    .flat_map(move |i| [Op::load(i * 8), Op::compute(compute)].into_iter()),
+            )
         }
     }
 
@@ -975,9 +993,7 @@ mod tests {
         // falls below even a single GUPS thread's LFB-limited demand.
         let w = Gups { lines: 1 << 16, count: 60_000 };
         let free = Machine::dram_only(Platform::Skx2s).run(&w);
-        let busy = Machine::dram_only(Platform::Skx2s)
-            .with_background(0.95, 0.0)
-            .run(&w);
+        let busy = Machine::dram_only(Platform::Skx2s).with_background(0.95, 0.0).run(&w);
         assert!(
             busy.cycles > free.cycles * 1.2,
             "background contention must slow the run: {} vs {}",
@@ -993,9 +1009,7 @@ mod tests {
         // extra offcore demand misses.
         let w = Gups { lines: (8 << 20) / 64, count: 500_000 };
         let alone = Machine::dram_only(Platform::Spr2s).run(&w);
-        let shared = Machine::dram_only(Platform::Spr2s)
-            .with_llc_sharers(16)
-            .run(&w);
+        let shared = Machine::dram_only(Platform::Spr2s).with_llc_sharers(16).run(&w);
         // Offcore reads include L3 hits; the lost capacity shows up as
         // extra *memory* reads at the device.
         let memory_reads = |r: &crate::report::RunReport| r.fast_tier.stats.reads;
@@ -1026,11 +1040,7 @@ mod tests {
             }
         }
         let report = dram(Platform::Spr2s).run(&LoadThenStore);
-        assert_eq!(
-            report.counters[Event::RfoRequests],
-            0,
-            "cached lines grant ownership on-chip"
-        );
+        assert_eq!(report.counters[Event::RfoRequests], 0, "cached lines grant ownership on-chip");
         assert_eq!(report.counters[Event::Stores], 1024);
     }
 

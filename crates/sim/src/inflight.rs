@@ -157,14 +157,8 @@ impl InflightBuffer {
     /// must coalesce via [`lookup`](Self::lookup) first) or the buffer is
     /// over capacity (callers must acquire a slot first).
     pub fn allocate(&mut self, line: u64, fill_time: f64, wait_class: WaitClass) {
-        debug_assert!(
-            !self.by_line.contains_key(&line),
-            "line {line:#x} already in flight"
-        );
-        debug_assert!(
-            self.by_line.len() < self.capacity,
-            "allocation beyond capacity"
-        );
+        debug_assert!(!self.by_line.contains_key(&line), "line {line:#x} already in flight");
+        debug_assert!(self.by_line.len() < self.capacity, "allocation beyond capacity");
         self.by_line.insert(line, InflightEntry { fill_time, wait_class });
         self.completions.push(Reverse((Time(fill_time), line)));
         self.allocations += 1;

@@ -41,7 +41,6 @@
 //! assert!(cxl.slowdown_vs(&dram) >= 0.0);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod cache;
 pub mod config;

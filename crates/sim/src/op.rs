@@ -85,7 +85,11 @@ impl Op {
 /// needs the stream, the thread count (which scales per-core bandwidth and
 /// LLC shares) and the memory footprint (which sizes the address space for
 /// placement).
-pub trait Workload {
+///
+/// Workloads are required to be `Send + Sync`: op streams are deterministic
+/// pure generators over immutable parameters, which lets the experiment
+/// harness fan endpoint runs of the same workload out across threads.
+pub trait Workload: Send + Sync {
     /// Unique, stable workload name (e.g. `"spec.603.bwaves-8t"`).
     fn name(&self) -> &str;
 

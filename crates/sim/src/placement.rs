@@ -135,7 +135,11 @@ pub struct PlacementState {
 impl PlacementState {
     /// Wraps a placement for use during a run.
     pub fn new(placement: Placement) -> Self {
-        PlacementState { placement, first_touch: HashMap::new(), fast_touched: 0 }
+        PlacementState {
+            placement,
+            first_touch: HashMap::new(),
+            fast_touched: 0,
+        }
     }
 
     /// Resolves the tier of the page containing byte address `addr`.
@@ -209,9 +213,7 @@ mod tests {
 
     fn fraction_fast(placement: Placement, pages: u64) -> f64 {
         let mut state = PlacementState::new(placement);
-        let fast = (0..pages)
-            .filter(|&p| state.tier_of_page(p) == TierId::Fast)
-            .count();
+        let fast = (0..pages).filter(|&p| state.tier_of_page(p) == TierId::Fast).count();
         fast as f64 / pages as f64
     }
 
@@ -228,10 +230,7 @@ mod tests {
             let measured = fraction_fast(placement, 10_000);
             // Hashed round-robin: exact in expectation, binomial noise in
             // any finite sample.
-            assert!(
-                (measured - pct as f64 / 100.0).abs() < 0.02,
-                "pct {pct}: measured {measured}"
-            );
+            assert!((measured - pct as f64 / 100.0).abs() < 0.02, "pct {pct}: measured {measured}");
         }
     }
 
@@ -322,9 +321,9 @@ mod tests {
         // All hot pages are fast.
         assert!((0..100).all(|p| state.tier_of_page(p) == TierId::Fast));
         // Cold pages split roughly 1:3.
-        let fast = (100..10_100u64)
-            .filter(|&p| state.tier_of_page(p) == TierId::Fast)
-            .count() as f64 / 10_000.0;
+        let fast = (100..10_100u64).filter(|&p| state.tier_of_page(p) == TierId::Fast).count()
+            as f64
+            / 10_000.0;
         assert!((fast - 0.25).abs() < 0.02, "cold fast share {fast}");
     }
 }

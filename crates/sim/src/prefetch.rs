@@ -90,8 +90,7 @@ impl StreamPrefetcher {
         // may have crossed into.
         let slot = self.trackers.iter().position(|t| {
             t.region != UNUSED
-                && (t.region == region
-                    || (self.cross_page && t.region.abs_diff(region) == 1))
+                && (t.region == region || (self.cross_page && t.region.abs_diff(region) == 1))
         });
         let slot = match slot {
             Some(i) => i,
@@ -265,7 +264,7 @@ mod tests {
         pf.on_access(100, &mut buf); // region 1
         pf.on_access(1, &mut buf); // touch region 0 (now MRU)
         pf.on_access(300, &mut buf); // region 4 replaces region 1
-        // Stream 0 survives: continuing it still trains.
+                                     // Stream 0 survives: continuing it still trains.
         pf.on_access(2, &mut buf);
         assert_eq!(buf, vec![3, 4]);
     }

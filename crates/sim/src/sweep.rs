@@ -7,8 +7,16 @@
 //! and MLP (`P11/P13`) measurements.
 //!
 //! The engine inserts one interval `[send, fill)` per offcore demand read.
-//! Because the engine processes ops with non-decreasing send times, the
-//! accumulator can advance lazily with a min-heap of fill times.
+//! Send times are *mostly* non-decreasing (ops are processed in program
+//! order), but an out-of-order core issues independent loads while an
+//! older long-latency load is still outstanding, so bounded stragglers —
+//! sends earlier than the sweep cursor — are legitimate. The accumulator
+//! advances lazily with a min-heap of fill times and integrates a
+//! straggler's already-swept prefix retroactively, which keeps the
+//! occupancy integral (`P11`) exact: it always equals the sum of all
+//! inserted interval lengths (Little's law). Only `P13` can undercount,
+//! and only when a straggler's prefix covered a gap with nothing else in
+//! flight.
 
 use crate::inflight::Time;
 use std::cmp::Reverse;
@@ -33,6 +41,16 @@ impl MlpSweep {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Resets to the empty state while keeping the heap allocation, so an
+    /// engine can reuse one accumulator across runs (clear-don't-drop).
+    pub fn reset(&mut self) {
+        self.active.clear();
+        self.cursor = 0.0;
+        self.occupancy_integral = 0.0;
+        self.active_cycles = 0.0;
+        self.requests = 0;
     }
 
     /// Advances the integral to time `to`, retiring completed intervals.
@@ -61,19 +79,34 @@ impl MlpSweep {
 
     /// Records an offcore demand read in flight over `[send, fill)`.
     ///
-    /// Send times must be non-decreasing across calls (the engine issues
-    /// requests in time order).
+    /// Inserts may arrive out of order: an out-of-order core issues
+    /// independent loads while an older long-latency load is outstanding,
+    /// and epoch snapshots advance the cursor to the retire clock, which
+    /// runs ahead of issue times. A straggler's already-swept prefix is
+    /// integrated retroactively so the occupancy integral stays exact.
     ///
     /// # Panics
     ///
-    /// In debug builds, panics if `fill < send` or `send` precedes an
-    /// earlier insertion.
+    /// In debug builds, panics if `fill < send`.
     pub fn insert(&mut self, send: f64, fill: f64) {
         debug_assert!(fill >= send, "interval ends before it starts");
-        debug_assert!(send >= self.cursor || self.active.is_empty() || send >= 0.0);
+        self.requests += 1;
+        if send < self.cursor {
+            // The interval started before the integrated frontier. Its
+            // prefix `[send, min(fill, cursor))` raises the occupancy of
+            // segments that were already swept — add it directly, which
+            // keeps `P11 == Σ interval lengths`. `P13` keeps its swept
+            // value: the prefix only matters to it if nothing else was in
+            // flight then, and that history is gone (a bounded, rare
+            // undercount). The suffix, if any, joins the heap normally.
+            self.occupancy_integral += fill.min(self.cursor) - send;
+            if fill > self.cursor {
+                self.active.push(Reverse(Time(fill)));
+            }
+            return;
+        }
         self.advance(send);
         self.active.push(Reverse(Time(fill)));
-        self.requests += 1;
     }
 
     /// Finishes the sweep, integrating through the last fill, and returns
@@ -169,6 +202,69 @@ mod tests {
         close(p11, 0.0);
         assert_eq!(p12, 1);
         close(p13, 0.0);
+    }
+
+    #[test]
+    fn reset_matches_fresh_accumulator() {
+        let mut sweep = MlpSweep::new();
+        sweep.insert(0.0, 100.0);
+        sweep.insert(50.0, 150.0);
+        let _ = sweep.snapshot(120.0);
+        sweep.reset();
+        // After reset, the accumulator behaves exactly like a new one —
+        // including accepting send times earlier than anything seen before.
+        sweep.insert(10.0, 110.0);
+        let (p11, p12, p13) = sweep.finish();
+        close(p11, 100.0);
+        assert_eq!(p12, 1);
+        close(p13, 100.0);
+    }
+
+    #[test]
+    fn out_of_order_straggler_entirely_in_the_past() {
+        let mut sweep = MlpSweep::new();
+        sweep.insert(0.0, 100.0);
+        sweep.insert(200.0, 300.0); // sweeps the cursor to 200
+        sweep.insert(50.0, 150.0); // straggler fully behind the cursor
+        let (p11, p12, p13) = sweep.finish();
+        // P11 stays exact: 100 + 100 + 100 (Little's law).
+        close(p11, 300.0);
+        assert_eq!(p12, 3);
+        // P13 undercounts the straggler's solo span [100, 150): the gap
+        // was already swept with nothing in flight.
+        close(p13, 200.0);
+    }
+
+    #[test]
+    fn out_of_order_straggler_straddling_the_cursor() {
+        let mut sweep = MlpSweep::new();
+        sweep.insert(0.0, 100.0);
+        sweep.insert(90.0, 200.0); // cursor now at 90
+        sweep.insert(50.0, 150.0); // prefix [50, 90) retroactive, suffix live
+        let (p11, p12, p13) = sweep.finish();
+        close(p11, 100.0 + 110.0 + 100.0);
+        assert_eq!(p12, 3);
+        // True active span is [0, 200) and the straggler overlaps live
+        // intervals everywhere, so P13 is exact here.
+        close(p13, 200.0);
+    }
+
+    #[test]
+    fn little_law_holds_for_out_of_order_batches() {
+        // P11 == Σ interval lengths must survive arbitrary insert order.
+        let mut sweep = MlpSweep::new();
+        let mut total = 0.0;
+        for i in 0..1000u64 {
+            let send = (i.wrapping_mul(2654435761) % 997) as f64;
+            let len = 10.0 + (i % 17) as f64 * 3.0;
+            sweep.insert(send, send + len);
+            total += len;
+        }
+        let (p11, p12, _) = sweep.finish();
+        // Looser epsilon: the integral accumulates in sweep-segment order,
+        // not insertion order, so rounding differs from the plain sum.
+        assert!((p11 - total).abs() < 1e-6, "{p11} != {total}");
+        assert_eq!(p12, 1000);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Property tests for the simulation substrate.
+//! Randomised property tests for the simulation substrate, driven by a
+//! deterministic SplitMix64 generator (no external test dependencies).
 
 use camp_sim::cache::Cache;
 use camp_sim::config::CacheGeometry;
@@ -8,7 +9,38 @@ use camp_sim::placement::{Placement, PlacementState, TierId};
 use camp_sim::sweep::MlpSweep;
 use camp_sim::trace::{TraceReader, TraceWriter};
 use camp_sim::{DeviceKind, Platform, LINE_BYTES};
-use proptest::prelude::*;
+
+/// Minimal deterministic generator (SplitMix64).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn op(&mut self, footprint: u64) -> Op {
+        match self.below(3) {
+            0 => Op::Load {
+                addr: self.below(footprint),
+                dep: self.below(3) as u8,
+            },
+            1 => Op::store(self.below(footprint)),
+            _ => Op::compute(1 + self.below(15) as u32),
+        }
+    }
+}
 
 /// A workload built from an arbitrary op list.
 struct Scripted {
@@ -28,74 +60,74 @@ impl Workload for Scripted {
     }
 }
 
-fn arb_op(footprint: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..footprint, 0u8..3).prop_map(|(addr, dep)| Op::Load { addr, dep }),
-        (0..footprint).prop_map(Op::store),
-        (1u32..16).prop_map(Op::compute),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The engine is deterministic and produces structurally consistent
-    /// counters for arbitrary op streams.
-    #[test]
-    fn engine_handles_arbitrary_streams(ops in prop::collection::vec(arb_op(1 << 22), 1..400)) {
+/// The engine is deterministic and produces structurally consistent
+/// counters for arbitrary op streams.
+#[test]
+fn engine_handles_arbitrary_streams() {
+    for seed in 0..24u64 {
+        let mut rng = Rng(seed);
+        let len = 1 + rng.below(399) as usize;
+        let ops: Vec<Op> = (0..len).map(|_| rng.op(1 << 22)).collect();
         let workload = Scripted { ops, footprint: 1 << 22 };
         let machine = Machine::interleaved(Platform::Spr2s, DeviceKind::CxlA, 0.5);
         let a = machine.run(&workload);
         let b = machine.run(&workload);
-        prop_assert_eq!(a.cycles, b.cycles);
-        prop_assert_eq!(&a.counters, &b.counters);
+        assert_eq!(a.cycles, b.cycles, "seed {seed}");
+        assert_eq!(&a.counters, &b.counters, "seed {seed}");
         use camp_pmu::Event::*;
         let c = &a.counters;
-        prop_assert!(c[StallsL1dMiss] >= c[StallsL2Miss]);
-        prop_assert!(c[StallsL2Miss] >= c[StallsL3Miss]);
-        prop_assert!(c[DemandLoads] >= c[L1dHit] + c[L1Miss] + c[LfbHit]);
-        prop_assert!(a.cycles >= 0.0);
-        prop_assert!(a.instructions > 0);
+        assert!(c[StallsL1dMiss] >= c[StallsL2Miss], "seed {seed}");
+        assert!(c[StallsL2Miss] >= c[StallsL3Miss], "seed {seed}");
+        assert!(c[DemandLoads] >= c[L1dHit] + c[L1Miss] + c[LfbHit], "seed {seed}");
+        assert!(a.cycles >= 0.0);
+        assert!(a.instructions > 0);
     }
+}
 
-    /// Cache occupancy never exceeds capacity, and a line just inserted is
-    /// present until something evicts it.
-    #[test]
-    fn cache_capacity_is_an_invariant(
-        lines in prop::collection::vec(0u64..256, 1..200),
-        ways in 1u32..8,
-    ) {
+/// Cache occupancy never exceeds capacity, and a line just inserted is
+/// present until something evicts it.
+#[test]
+fn cache_capacity_is_an_invariant() {
+    for seed in 0..24u64 {
+        let mut rng = Rng(seed ^ 0xcafe);
+        let ways = 1 + rng.below(7) as u32;
+        let len = 1 + rng.below(199) as usize;
         let mut cache = Cache::new(CacheGeometry {
             capacity_bytes: 32 * LINE_BYTES,
             ways,
             hit_latency: 4,
         });
-        for &line in &lines {
-            cache.insert(line * LINE_BYTES, line % 2 == 0);
-            prop_assert!(cache.occupancy() <= 32);
-            prop_assert!(cache.peek(line * LINE_BYTES));
+        for _ in 0..len {
+            let line = rng.below(256);
+            cache.insert(line * LINE_BYTES, line.is_multiple_of(2));
+            assert!(cache.occupancy() <= 32, "seed {seed}");
+            assert!(cache.peek(line * LINE_BYTES), "seed {seed}");
         }
     }
+}
 
-    /// Weighted interleaving hits the requested ratio in expectation for
-    /// any percentage.
-    #[test]
-    fn interleave_ratio_is_respected(pct in 1u32..100) {
+/// Weighted interleaving hits the requested ratio in expectation for any
+/// percentage.
+#[test]
+fn interleave_ratio_is_respected() {
+    for pct in (1u32..100).step_by(7).chain([1, 50, 99]) {
         let placement = Placement::WeightedInterleave { fast_weight: pct, slow_weight: 100 - pct };
         let mut state = PlacementState::new(placement);
-        let fast = (0..20_000u64)
-            .filter(|&p| state.tier_of_page(p) == TierId::Fast)
-            .count() as f64 / 20_000.0;
-        prop_assert!((fast - pct as f64 / 100.0).abs() < 0.02, "pct {} got {}", pct, fast);
+        let fast = (0..20_000u64).filter(|&p| state.tier_of_page(p) == TierId::Fast).count() as f64
+            / 20_000.0;
+        assert!((fast - pct as f64 / 100.0).abs() < 0.02, "pct {} got {}", pct, fast);
     }
+}
 
-    /// Traces round-trip arbitrary op streams bit-exactly.
-    #[test]
-    fn trace_round_trips_arbitrary_ops(
-        ops in prop::collection::vec(arb_op(1 << 40), 0..300),
-        threads in 1u32..64,
-        footprint in 0u64..(1 << 45),
-    ) {
+/// Traces round-trip arbitrary op streams bit-exactly.
+#[test]
+fn trace_round_trips_arbitrary_ops() {
+    for seed in 0..24u64 {
+        let mut rng = Rng(seed ^ 0x7ace);
+        let len = rng.below(300) as usize;
+        let ops: Vec<Op> = (0..len).map(|_| rng.op(1 << 40)).collect();
+        let threads = 1 + rng.below(63) as u32;
+        let footprint = rng.below(1 << 45);
         let mut buffer = Vec::new();
         let mut writer = TraceWriter::new(&mut buffer, threads, footprint).unwrap();
         for &op in &ops {
@@ -103,18 +135,23 @@ proptest! {
         }
         writer.finish().unwrap();
         let trace = TraceReader::from_bytes(&buffer, "prop").unwrap();
-        prop_assert_eq!(trace.threads(), threads.min(u16::MAX as u32).max(1));
-        prop_assert_eq!(trace.footprint_bytes(), footprint);
+        assert_eq!(trace.threads(), threads.min(u16::MAX as u32).max(1), "seed {seed}");
+        assert_eq!(trace.footprint_bytes(), footprint, "seed {seed}");
         let replayed: Vec<Op> = trace.ops().collect();
-        prop_assert_eq!(replayed, ops);
+        assert_eq!(replayed, ops, "seed {seed}");
     }
+}
 
-    /// Sweep-line identities: P11 equals the sum of interval lengths
-    /// (Little's law bookkeeping), P13 never exceeds P11 and never exceeds
-    /// the overall time span.
-    #[test]
-    fn sweep_identities(intervals in prop::collection::vec((0.0f64..1e5, 0.0f64..2e3), 1..100)) {
-        let mut starts: Vec<(f64, f64)> = intervals;
+/// Sweep-line identities: P11 equals the sum of interval lengths (Little's
+/// law bookkeeping), P13 never exceeds P11 and never exceeds the overall
+/// time span.
+#[test]
+fn sweep_identities() {
+    for seed in 0..24u64 {
+        let mut rng = Rng(seed ^ 0x51ee);
+        let len = 1 + rng.below(99) as usize;
+        let mut starts: Vec<(f64, f64)> =
+            (0..len).map(|_| (rng.unit() * 1e5, rng.unit() * 2e3)).collect();
         starts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let mut sweep = MlpSweep::new();
         let mut total = 0.0;
@@ -125,9 +162,9 @@ proptest! {
             span_end = span_end.max(start + len);
         }
         let (p11, p12, p13) = sweep.finish();
-        prop_assert!((p11 - total).abs() < 1e-6 * total.max(1.0));
-        prop_assert_eq!(p12, starts.len() as u64);
-        prop_assert!(p13 <= p11 + 1e-9);
-        prop_assert!(p13 <= span_end - starts[0].0 + 1e-9);
+        assert!((p11 - total).abs() < 1e-6 * total.max(1.0), "seed {seed}");
+        assert_eq!(p12, starts.len() as u64, "seed {seed}");
+        assert!(p13 <= p11 + 1e-9, "seed {seed}");
+        assert!(p13 <= span_end - starts[0].0 + 1e-9, "seed {seed}");
     }
 }

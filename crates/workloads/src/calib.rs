@@ -36,9 +36,12 @@ pub fn calibration_suite() -> Vec<Box<dyn Workload>> {
     // residency axis gives the hyperbolic fit its low-latency anchor
     // (the paper's Figure 4d relationship between baseline DRAM latency
     // and the latency-increase ratio).
-    for (fp_name, lines) in
-        [("32m", 1u64 << 19), ("64m", 1 << 20), ("128m", 1 << 21), ("512m", 1 << 23)]
-    {
+    for (fp_name, lines) in [
+        ("32m", 1u64 << 19),
+        ("64m", 1 << 20),
+        ("128m", 1 << 21),
+        ("512m", 1 << 23),
+    ] {
         for chains in [1u8, 2, 3, 4, 6, 8, 12, 16] {
             v.push(Box::new(PointerChase::new(
                 format!("calib.chase-{fp_name}-c{chains}"),
@@ -143,21 +146,16 @@ mod tests {
 
     #[test]
     fn covers_all_four_pressure_point_probes() {
-        let names: Vec<String> =
-            calibration_suite().iter().map(|w| w.name().to_string()).collect();
+        let names: Vec<String> = calibration_suite().iter().map(|w| w.name().to_string()).collect();
         for probe in ["chase", "seq", "strided", "memset"] {
-            assert!(
-                names.iter().any(|n| n.contains(probe)),
-                "missing {probe} probes"
-            );
+            assert!(names.iter().any(|n| n.contains(probe)), "missing {probe} probes");
         }
     }
 
     #[test]
     fn chase_probes_span_the_mlp_axis() {
         let chains: Vec<&str> = vec!["c1", "c2", "c4", "c8", "c16"];
-        let names: Vec<String> =
-            calibration_suite().iter().map(|w| w.name().to_string()).collect();
+        let names: Vec<String> = calibration_suite().iter().map(|w| w.name().to_string()).collect();
         for c in chains {
             assert!(names.iter().any(|n| n.ends_with(c)), "missing {c} chase");
         }

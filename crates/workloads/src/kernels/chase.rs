@@ -36,7 +36,13 @@ impl PointerChase {
     ) -> Self {
         assert!(lines.is_power_of_two(), "chase footprint must be a power of two");
         assert!(chains > 0, "at least one chain required");
-        PointerChase { name: name.into(), threads, lines, chains, memory_ops }
+        PointerChase {
+            name: name.into(),
+            threads,
+            lines,
+            chains,
+            memory_ops,
+        }
     }
 
     /// Number of interleaved chains (the workload's structural MLP).

@@ -116,7 +116,13 @@ impl GraphKernel {
         algo: GraphAlgo,
         memory_ops: u64,
     ) -> Self {
-        GraphKernel { name: name.into(), threads, shape, algo, memory_ops }
+        GraphKernel {
+            name: name.into(),
+            threads,
+            shape,
+            algo,
+            memory_ops,
+        }
     }
 
     fn build_graph(&self) -> Csr {
@@ -372,24 +378,23 @@ mod tests {
     #[test]
     fn kron_degrees_are_skewed_road_is_not() {
         let kron = GraphKernel::new("k", 1, kron_small(), GraphAlgo::Pr, 10).build_graph();
-        let max_deg = (0..kron.vertices())
-            .map(|u| kron.neighbors(u).len())
-            .max()
-            .unwrap();
+        let max_deg = (0..kron.vertices()).map(|u| kron.neighbors(u).len()).max().unwrap();
         assert!(max_deg > 64, "kron hub degree {max_deg}");
-        let road =
-            GraphKernel::new("r", 1, GraphShape::Road { side: 32 }, GraphAlgo::Pr, 10).build_graph();
-        let max_deg = (0..road.vertices())
-            .map(|u| road.neighbors(u).len())
-            .max()
-            .unwrap();
+        let road = GraphKernel::new("r", 1, GraphShape::Road { side: 32 }, GraphAlgo::Pr, 10)
+            .build_graph();
+        let max_deg = (0..road.vertices()).map(|u| road.neighbors(u).len()).max().unwrap();
         assert!(max_deg <= 4, "road degree {max_deg}");
     }
 
     #[test]
     fn ops_respect_budget_and_footprint() {
-        for algo in [GraphAlgo::Bfs, GraphAlgo::Pr, GraphAlgo::Tc, GraphAlgo::Cc, GraphAlgo::Sssp]
-        {
+        for algo in [
+            GraphAlgo::Bfs,
+            GraphAlgo::Pr,
+            GraphAlgo::Tc,
+            GraphAlgo::Cc,
+            GraphAlgo::Sssp,
+        ] {
             let w = GraphKernel::new("b", 1, kron_small(), algo, 5_000);
             let mut memory = 0u64;
             for op in w.ops() {
@@ -416,7 +421,13 @@ mod tests {
 
     #[test]
     fn deterministic_across_calls() {
-        let w = GraphKernel::new("det", 1, GraphShape::Urand { scale: 9, degree: 4 }, GraphAlgo::Cc, 2_000);
+        let w = GraphKernel::new(
+            "det",
+            1,
+            GraphShape::Urand { scale: 9, degree: 4 },
+            GraphAlgo::Cc,
+            2_000,
+        );
         let a: Vec<Op> = w.ops().collect();
         let b: Vec<Op> = w.ops().collect();
         assert_eq!(a, b);

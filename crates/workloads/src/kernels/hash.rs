@@ -177,10 +177,7 @@ mod tests {
     #[test]
     fn memory_budget_counts_loads_and_stores() {
         let w = HashProbe::new("b", 1, 1 << 8, 2, 30, false, 1, 400);
-        let memory = w
-            .ops()
-            .filter(|op| !matches!(op, Op::Compute { .. }))
-            .count() as u64;
+        let memory = w.ops().filter(|op| !matches!(op, Op::Compute { .. })).count() as u64;
         assert!((400..=402).contains(&memory), "memory ops {memory}");
     }
 }

@@ -133,14 +133,7 @@ mod tests {
     use super::*;
 
     fn mix(seq: u8, random: u8, chase: u8) -> MixKernel {
-        MixKernel::new(
-            "m",
-            1,
-            1 << 14,
-            MixWeights { seq, random, chase },
-            0,
-            10_000,
-        )
+        MixKernel::new("m", 1, 1 << 14, MixWeights { seq, random, chase }, 0, 10_000)
     }
 
     #[test]

@@ -45,7 +45,13 @@ impl StoreKernel {
         memory_ops: u64,
     ) -> Self {
         assert!(bytes >= LINE_BYTES, "buffer smaller than a cache line");
-        StoreKernel { name: name.into(), threads, bytes, pattern, memory_ops }
+        StoreKernel {
+            name: name.into(),
+            threads,
+            bytes,
+            pattern,
+            memory_ops,
+        }
     }
 }
 

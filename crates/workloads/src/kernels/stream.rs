@@ -132,10 +132,7 @@ mod tests {
     #[test]
     fn memory_op_budget_is_respected() {
         let w = StreamKernel::new("s", 1, 3, 1 << 16, 2, 0, 1000);
-        let memory_ops = w
-            .ops()
-            .filter(|op| !matches!(op, Op::Compute { .. }))
-            .count();
+        let memory_ops = w.ops().filter(|op| !matches!(op, Op::Compute { .. })).count();
         assert_eq!(memory_ops, 1000);
     }
 

@@ -23,7 +23,6 @@
 //! assert!(report.cycles > 0.0);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod calib;
 pub mod kernels;

@@ -85,7 +85,12 @@ impl ChaseWalk {
         // a ≡ 5 (mod 8) guarantees full period together with odd c.
         let mult = (mix.next_u64() & !0b111) | 5;
         let add = mix.next_u64() | 1;
-        ChaseWalk { state: mix.next_u64() & (size - 1), mult, add, mask: size - 1 }
+        ChaseWalk {
+            state: mix.next_u64() & (size - 1),
+            mult,
+            add,
+            mask: size - 1,
+        }
     }
 
     /// Advances to the next element of the permutation cycle.

@@ -12,11 +12,11 @@
 //! (e.g. `spec.603.bwaves-8t`, `gap.tc-kron-lg`); experiments reference
 //! them via [`find`].
 
+use crate::kernels::mix::MixWeights;
 use crate::kernels::{
     BurstKernel, Gather, GraphAlgo, GraphKernel, GraphShape, HashProbe, MixKernel, PointerChase,
     StoreKernel, StorePattern, StreamKernel, StridedRead,
 };
-use crate::kernels::mix::MixWeights;
 use camp_sim::Workload;
 
 /// Default memory-operation budget per workload.
@@ -34,15 +34,7 @@ fn stream_budget(arrays: u32) -> u64 {
 
 type W = Box<dyn Workload>;
 
-fn mix(
-    name: &str,
-    threads: u32,
-    lines: u64,
-    seq: u8,
-    random: u8,
-    chase: u8,
-    compute: u32,
-) -> W {
+fn mix(name: &str, threads: u32, lines: u64, seq: u8, random: u8, chase: u8, compute: u32) -> W {
     Box::new(MixKernel::new(
         name,
         threads,
@@ -57,7 +49,12 @@ fn mix(
 fn mlc() -> Vec<W> {
     let mut v: Vec<W> = Vec::new();
     // Pointer chases across the latency/MLP plane.
-    for (fp_name, lines) in [("8m", 1u64 << 17), ("32m", 1 << 19), ("128m", 1 << 21), ("512m", 1 << 23)] {
+    for (fp_name, lines) in [
+        ("8m", 1u64 << 17),
+        ("32m", 1 << 19),
+        ("128m", 1 << 21),
+        ("512m", 1 << 23),
+    ] {
         for chains in [1u8, 2, 4, 8] {
             v.push(Box::new(PointerChase::new(
                 format!("mlc.chase-{fp_name}-c{chains}"),
@@ -69,9 +66,20 @@ fn mlc() -> Vec<W> {
         }
     }
     // Sequential read streams.
-    for (threads, compute) in
-        [(1u32, 0u32), (1, 2), (1, 4), (1, 8), (8, 0), (8, 2), (8, 4), (8, 8), (2, 0), (2, 4), (16, 0), (16, 4)]
-    {
+    for (threads, compute) in [
+        (1u32, 0u32),
+        (1, 2),
+        (1, 4),
+        (1, 8),
+        (8, 0),
+        (8, 2),
+        (8, 4),
+        (8, 8),
+        (2, 0),
+        (2, 4),
+        (16, 0),
+        (16, 4),
+    ] {
         v.push(Box::new(StreamKernel::new(
             format!("mlc.stream-{threads}t-c{compute}"),
             threads,
@@ -97,9 +105,12 @@ fn mlc() -> Vec<W> {
     }
     // Store kernels: budgets cover the buffer exactly once (cold RFO per
     // line), so touched bytes equal the footprint.
-    for (sz_name, bytes) in
-        [("4m", 4u64 << 20), ("8m", 8 << 20), ("16m", 16 << 20), ("32m", 32 << 20)]
-    {
+    for (sz_name, bytes) in [
+        ("4m", 4u64 << 20),
+        ("8m", 8 << 20),
+        ("16m", 16 << 20),
+        ("32m", 32 << 20),
+    ] {
         v.push(Box::new(StoreKernel::new(
             format!("mlc.memset-{sz_name}"),
             1,
@@ -223,7 +234,10 @@ fn gap() -> Vec<W> {
         ("kron", |lg| GraphShape::Kron { scale: if lg { 18 } else { 16 }, degree: 16 }),
         ("road", |lg| GraphShape::Road { side: if lg { 1024 } else { 512 } }),
         ("urand", |lg| GraphShape::Urand { scale: if lg { 18 } else { 16 }, degree: 16 }),
-        ("twitter", |lg| GraphShape::TwitterLike { scale: if lg { 18 } else { 16 }, degree: 16 }),
+        ("twitter", |lg| GraphShape::TwitterLike {
+            scale: if lg { 18 } else { 16 },
+            degree: 16,
+        }),
     ];
     let algos = [
         ("bfs", GraphAlgo::Bfs),
@@ -950,11 +964,7 @@ mod tests {
         let mut names = HashSet::new();
         for w in suite() {
             assert!(names.insert(w.name().to_string()), "duplicate {}", w.name());
-            assert!(
-                w.name().contains('.'),
-                "{} lacks a family prefix",
-                w.name()
-            );
+            assert!(w.name().contains('.'), "{} lacks a family prefix", w.name());
         }
     }
 
@@ -1003,7 +1013,9 @@ mod tests {
         assert_eq!(total, 265);
         // The major suites of §4.4.2 are all represented.
         let names: Vec<&str> = families.iter().map(|(name, _)| name.as_str()).collect();
-        for expected in ["mlc", "spec", "gap", "pbbs", "parsec", "xs", "redis", "ai", "phx", "db"] {
+        for expected in [
+            "mlc", "spec", "gap", "pbbs", "parsec", "xs", "redis", "ai", "phx", "db",
+        ] {
             assert!(names.contains(&expected), "missing family {expected}");
         }
     }

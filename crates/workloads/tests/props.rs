@@ -1,10 +1,10 @@
-//! Property tests for the workload generators.
+//! Randomised property tests for the workload generators, driven by the
+//! crate's own deterministic SplitMix64 (no external test dependencies).
 
 use camp_sim::{Op, Workload};
 use camp_workloads::kernels::mix::MixWeights;
 use camp_workloads::kernels::{Gather, HashProbe, MixKernel, PointerChase, StridedRead};
 use camp_workloads::rng::{ChaseWalk, SplitMix};
-use proptest::prelude::*;
 
 fn addresses_in_footprint(workload: &dyn Workload, take: usize) -> bool {
     workload.ops().take(take).all(|op| match op {
@@ -13,69 +13,75 @@ fn addresses_in_footprint(workload: &dyn Workload, take: usize) -> bool {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Chase walks visit every index exactly once per period, for any
-    /// power-of-two size and seed.
-    #[test]
-    fn chase_walk_is_a_permutation(log_size in 4u32..12, seed in 0u64..1_000_000) {
+/// Chase walks visit every index exactly once per period, for any
+/// power-of-two size and seed.
+#[test]
+fn chase_walk_is_a_permutation() {
+    let mut rng = SplitMix::new(0xc0ffee);
+    for case in 0..32 {
+        let log_size = 4 + rng.below(8) as u32;
+        let seed = rng.below(1_000_000);
         let size = 1u64 << log_size;
         let mut walk = ChaseWalk::new(size, seed);
         let mut seen = vec![false; size as usize];
         for _ in 0..size {
             let idx = walk.next_index() as usize;
-            prop_assert!(!seen[idx]);
+            assert!(!seen[idx], "case {case}: index {idx} repeated");
             seen[idx] = true;
         }
     }
+}
 
-    /// Zipf samples stay in range and skew low for any population size.
-    #[test]
-    fn zipf_in_range(seed in 0u64..1_000_000, log_n in 3u32..24) {
+/// Zipf samples stay in range and skew low for any population size.
+#[test]
+fn zipf_in_range() {
+    let mut outer = SplitMix::new(0x5eed);
+    for _ in 0..32 {
+        let seed = outer.below(1_000_000);
+        let log_n = 3 + outer.below(21) as u32;
         let mut rng = SplitMix::new(seed);
         let n = 1u64 << log_n;
         for _ in 0..64 {
-            prop_assert!(rng.zipf(n) < n);
+            assert!(rng.zipf(n) < n);
         }
     }
+}
 
-    /// Every kernel family keeps its addresses within its declared
-    /// footprint for arbitrary parameters.
-    #[test]
-    fn kernel_addresses_respect_footprints(
-        log_lines in 8u64..16,
-        chains in 1u8..16,
-        stride in 1u64..32,
-        dep in 0u8..8,
-        store_pct in 0u8..100,
-    ) {
-        let lines = 1u64 << log_lines;
+/// Every kernel family keeps its addresses within its declared footprint
+/// for arbitrary parameters.
+#[test]
+fn kernel_addresses_respect_footprints() {
+    let mut rng = SplitMix::new(0xf007);
+    for case in 0..32 {
+        let lines = 1u64 << (8 + rng.below(8));
+        let chains = 1 + rng.below(15) as u8;
+        let stride = 1 + rng.below(31);
+        let dep = rng.below(8) as u8;
+        let store_pct = rng.below(100) as u8;
         let chase = PointerChase::new("prop-chase", 1, lines, chains, 300);
-        prop_assert!(addresses_in_footprint(&chase, 300));
+        assert!(addresses_in_footprint(&chase, 300), "case {case}: chase");
         let strided = StridedRead::new("prop-strided", 1, lines, stride, 1, 300);
-        prop_assert!(addresses_in_footprint(&strided, 600));
+        assert!(addresses_in_footprint(&strided, 600), "case {case}: strided");
         let gather = Gather::new("prop-gather", 1, lines, dep, store_pct, 1, true, 300);
-        prop_assert!(addresses_in_footprint(&gather, 900));
+        assert!(addresses_in_footprint(&gather, 900), "case {case}: gather");
         let hash = HashProbe::new("prop-hash", 1, lines, 2, store_pct, false, 1, 300);
-        prop_assert!(addresses_in_footprint(&hash, 900));
+        assert!(addresses_in_footprint(&hash, 900), "case {case}: hash");
     }
+}
 
-    /// Mix kernels respect weights for arbitrary splits.
-    #[test]
-    fn mix_kernel_is_well_formed(seq in 0u8..60, random in 0u8..30, chase in 0u8..10) {
-        let mix = MixKernel::new(
-            "prop-mix",
-            1,
-            1 << 12,
-            MixWeights { seq, random, chase },
-            1,
-            500,
-        );
-        prop_assert!(addresses_in_footprint(&mix, 1_000));
+/// Mix kernels respect weights for arbitrary splits.
+#[test]
+fn mix_kernel_is_well_formed() {
+    let mut rng = SplitMix::new(0x3217);
+    for case in 0..32 {
+        let seq = rng.below(60) as u8;
+        let random = rng.below(30) as u8;
+        let chase = rng.below(10) as u8;
+        let mix = MixKernel::new("prop-mix", 1, 1 << 12, MixWeights { seq, random, chase }, 1, 500);
+        assert!(addresses_in_footprint(&mix, 1_000), "case {case}");
         // Deterministic across calls.
         let a: Vec<Op> = mix.ops().collect();
         let b: Vec<Op> = mix.ops().collect();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }

@@ -31,9 +31,7 @@ fn main() {
         let predictor = CampPredictor::new(Calibration::fit(platform, device));
         let predicted = predictor.predict_total_saturated(&dram);
         // Validation runs (a deployment would skip these).
-        let actual = Machine::slow_only(platform, device)
-            .run(&workload)
-            .slowdown_vs(&dram);
+        let actual = Machine::slow_only(platform, device).run(&workload).slowdown_vs(&dram);
         println!(
             "{:<8} {:>11.1}% {:>11.1}% {:>11.1}pp",
             device.name(),

@@ -122,9 +122,17 @@ fn cmd_bestshot(options: &Options) -> Result<(), String> {
     let workload = find_workload(name)?;
     eprintln!("calibrating for {} + {}...", options.platform, options.device);
     let predictor = CampPredictor::new(Calibration::fit(options.platform, options.device));
-    let model =
-        InterleaveModel::profile(options.platform, options.device, &workload, &predictor, DEFAULT_TAU);
-    println!("classification : {:?} ({} profiling run(s))", model.boundness, model.profiling_runs);
+    let model = InterleaveModel::profile(
+        options.platform,
+        options.device,
+        &workload,
+        &predictor,
+        DEFAULT_TAU,
+    );
+    println!(
+        "classification : {:?} ({} profiling run(s))",
+        model.boundness, model.profiling_runs
+    );
     for (x, slowdown) in model.curve(10) {
         println!("  {:>4.0}% DRAM -> {:+7.1}%", x * 100.0, slowdown * 100.0);
     }

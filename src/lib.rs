@@ -42,7 +42,6 @@
 //! assert!(predicted.total().is_finite());
 //! ```
 
-
 #![warn(missing_docs)]
 pub use camp_core as model;
 pub use camp_pmu as pmu;

@@ -67,9 +67,8 @@ fn synthesized_curve_tracks_measurement() {
     let mut max_err = 0.0f64;
     for i in 0..=5 {
         let x = i as f64 / 5.0;
-        let actual = Machine::interleaved(PLATFORM, DEVICE, x)
-            .run(&workload)
-            .slowdown_vs(&baseline);
+        let actual =
+            Machine::interleaved(PLATFORM, DEVICE, x).run(&workload).slowdown_vs(&baseline);
         max_err = max_err.max((model.predict_total(x) - actual).abs());
     }
     assert!(max_err < 0.20, "max curve error {max_err}");
@@ -106,8 +105,5 @@ fn mlp_is_invariant_across_ratios() {
     }
     let min = mlps.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = mlps.iter().cloned().fold(0.0, f64::max);
-    assert!(
-        max / min < 1.30,
-        "MLP varies too much across ratios: {mlps:?}"
-    );
+    assert!(max / min < 1.30, "MLP varies too much across ratios: {mlps:?}");
 }

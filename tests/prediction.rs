@@ -43,11 +43,7 @@ fn cxl_a_prediction_correlates_strongly() {
     let errors = stats::error_summary(&eval.predicted, &eval.actual);
     // The sample's slowdowns reach 4-7x, so a 10-percentage-point bar is
     // strict; half the sample within it is the regression gate.
-    assert!(
-        errors.within_10pct >= 0.45,
-        "CXL-A within-10pct share {}",
-        errors.within_10pct
-    );
+    assert!(errors.within_10pct >= 0.45, "CXL-A within-10pct share {}", errors.within_10pct);
 }
 
 #[test]
@@ -60,11 +56,7 @@ fn numa_prediction_correlates_strongly() {
     // total slowdown — see EXPERIMENTS.md's misprediction analysis.
     assert!(pearson > 0.72, "NUMA pearson {pearson}");
     let errors = stats::error_summary(&eval.predicted, &eval.actual);
-    assert!(
-        errors.within_10pct > 0.55,
-        "NUMA within-10pct share {}",
-        errors.within_10pct
-    );
+    assert!(errors.within_10pct > 0.55, "NUMA within-10pct share {}", errors.within_10pct);
 }
 
 #[test]
@@ -89,11 +81,7 @@ fn camp_outperforms_every_baseline_metric() {
     let camp_r = stats::pearson(&camp_values, &actual).expect("variance").abs();
     for (i, metric) in BaselineMetric::ALL.iter().enumerate() {
         let r = stats::pearson(&metric_values[i], &actual).unwrap_or(0.0).abs();
-        assert!(
-            camp_r > r,
-            "{} correlation {r:.3} >= CAMP {camp_r:.3}",
-            metric.name()
-        );
+        assert!(camp_r > r, "{} correlation {r:.3} >= CAMP {camp_r:.3}", metric.name());
     }
 }
 

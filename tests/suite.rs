@@ -96,9 +96,7 @@ fn counters_respect_structural_identities() {
 #[test]
 fn epoch_sampling_conserves_whole_run_counters() {
     let workload = camp::workloads::find("db.hash_join-sm").expect("in suite");
-    let report = Machine::dram_only(Platform::Spr2s)
-        .with_epochs(100_000)
-        .run(&workload);
+    let report = Machine::dram_only(Platform::Spr2s).with_epochs(100_000).run(&workload);
     assert!(report.epochs.len() > 1, "expected several epochs");
     for event in [Event::Instructions, Event::OrDemandRd, Event::Stores] {
         let total: u64 = report.epochs.iter().map(|e| e.counters[event]).sum();
@@ -108,10 +106,8 @@ fn epoch_sampling_conserves_whole_run_counters() {
 
 #[test]
 fn calibration_suite_is_disjoint_from_the_evaluation_suite() {
-    let eval: HashSet<String> = camp::workloads::suite()
-        .iter()
-        .map(|w| w.name().to_string())
-        .collect();
+    let eval: HashSet<String> =
+        camp::workloads::suite().iter().map(|w| w.name().to_string()).collect();
     for probe in camp::workloads::calibration_suite() {
         assert!(
             !eval.contains(probe.name()),
