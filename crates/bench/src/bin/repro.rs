@@ -6,6 +6,7 @@
 //! repro all               # run everything
 //! repro --jobs 8 all      # run experiments on 8 worker threads
 //! repro --out results all # also archive TSVs under results/
+//! repro --trace-stats ... # print op-trace cache statistics to stderr
 //! ```
 //!
 //! Experiments run concurrently (`--jobs N`, default: all cores) over a
@@ -21,6 +22,7 @@ struct Args {
     ids: Vec<String>,
     results_dir: Option<PathBuf>,
     jobs: usize,
+    trace_stats: bool,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -39,6 +41,11 @@ fn parse_args() -> Result<Option<Args>, String> {
         args.remove(pos);
         results_dir = None;
     }
+    let mut trace_stats = false;
+    if let Some(pos) = args.iter().position(|a| a == "--trace-stats") {
+        args.remove(pos);
+        trace_stats = true;
+    }
     if let Some(pos) = args.iter().position(|a| a == "--jobs" || a == "-j") {
         args.remove(pos);
         if pos < args.len() {
@@ -53,7 +60,10 @@ fn parse_args() -> Result<Option<Args>, String> {
         }
     }
     if args.is_empty() || args[0] == "list" || args[0] == "--help" {
-        println!("usage: repro [--jobs N] [--out DIR | --no-archive] <experiment..|all>\n");
+        println!(
+            "usage: repro [--jobs N] [--out DIR | --no-archive] [--trace-stats] \
+             <experiment..|all>\n"
+        );
         println!("experiments:");
         for experiment in experiments::registry() {
             println!("  {:18} {}", experiment.id, experiment.description);
@@ -65,7 +75,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     } else {
         args
     };
-    Ok(Some(Args { ids, results_dir, jobs }))
+    Ok(Some(Args { ids, results_dir, jobs, trace_stats }))
 }
 
 fn main() -> ExitCode {
@@ -111,6 +121,24 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if args.trace_stats {
+        let traces = ctx.traces();
+        eprintln!("trace cache: per-workload statistics");
+        eprintln!("{:<32} {:>7} {:>10} {:>12}", "workload", "threads", "ops", "packed bytes");
+        for stat in traces.stats() {
+            eprintln!(
+                "{:<32} {:>7} {:>10} {:>12}",
+                stat.workload, stat.threads, stat.ops, stat.packed_bytes
+            );
+        }
+        eprintln!(
+            "trace cache: {} traces generated, {} hits / {} requests, {:.1} MiB packed",
+            traces.generated(),
+            traces.hits(),
+            traces.requests(),
+            traces.packed_bytes() as f64 / (1 << 20) as f64
+        );
     }
     eprintln!(
         "total simulation runs executed: {} ({} jobs, {:.1}s wall-clock)",

@@ -136,16 +136,18 @@ pub fn hybrid(ctx: &Context) -> Vec<Table> {
         ],
     );
     let workload = SkewedStream { name: "ext.dlrm-like".into() };
+    // One shared trace feeds every policy's profiling and placement runs.
+    let traced = ctx.traces().wrap(&workload);
     for capacity in [0.4, 0.6, 0.8] {
         let mut policy_ctx = PolicyContext::new(PLATFORM, DEVICE).with_predictor(&predictor);
         policy_ctx.fast_capacity_fraction = capacity;
-        let hybrid = evaluate_policy(&policy_ctx, &HybridCamp::new(), &workload);
-        let best_shot = evaluate_policy(&policy_ctx, &BestShotPolicy::new(), &workload);
-        let first_touch = evaluate_policy(&policy_ctx, &FirstTouch, &workload);
+        let hybrid = evaluate_policy(&policy_ctx, &HybridCamp::new(), &traced);
+        let best_shot = evaluate_policy(&policy_ctx, &BestShotPolicy::new(), &traced);
+        let first_touch = evaluate_policy(&policy_ctx, &FirstTouch, &traced);
         let nbt: Box<dyn TieringPolicy> = Box::new(Nbt);
-        let nbt_result = evaluate_policy(&policy_ctx, nbt.as_ref(), &workload);
+        let nbt_result = evaluate_policy(&policy_ctx, nbt.as_ref(), &traced);
         let soar: Box<dyn TieringPolicy> = Box::new(Soar);
-        let soar_result = evaluate_policy(&policy_ctx, soar.as_ref(), &workload);
+        let soar_result = evaluate_policy(&policy_ctx, soar.as_ref(), &traced);
         table.row(&[
             workload.name().to_string(),
             fmt(capacity, 1),

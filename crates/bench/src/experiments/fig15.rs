@@ -27,14 +27,17 @@ pub fn run(ctx: &Context) -> Vec<Table> {
     let mut wins = 0usize;
     let mut total_cells = 0usize;
     for workload in camp_workloads::bestshot_workloads() {
-        let bs = evaluate_policy(&policy_ctx, &best_shot, &workload);
+        // One shared trace feeds the baseline run, every policy's
+        // profiling pass and every placement run.
+        let traced = ctx.traces().wrap(workload.as_ref());
+        let bs = evaluate_policy(&policy_ctx, &best_shot, &traced);
         let mut cells = vec![
             workload.name().to_string(),
             fmt(bs.normalized_performance, 3),
             fmt(best_shot.chosen_ratio(), 2),
         ];
         for policy in &baselines {
-            let result = evaluate_policy(&policy_ctx, policy.as_ref(), &workload);
+            let result = evaluate_policy(&policy_ctx, policy.as_ref(), &traced);
             // Count a "win" with 1% tolerance (simulation noise).
             total_cells += 1;
             if bs.normalized_performance >= result.normalized_performance - 0.01 {

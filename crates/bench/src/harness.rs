@@ -11,7 +11,7 @@
 
 use crate::par;
 use camp_core::{Calibration, CampPredictor};
-use camp_sim::{DeviceKind, Machine, Platform, RunReport, Workload};
+use camp_sim::{DeviceKind, Machine, Platform, RunReport, TraceCache, Workload};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -34,6 +34,7 @@ const RUN_SHARDS: usize = 16;
 pub struct Context {
     runs: [Mutex<HashMap<RunKey, Cell<RunReport>>>; RUN_SHARDS],
     calibrations: Mutex<HashMap<(Platform, DeviceKind), Cell<Calibration>>>,
+    traces: TraceCache,
     executed: AtomicUsize,
     jobs: usize,
 }
@@ -43,6 +44,7 @@ impl Default for Context {
         Context {
             runs: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             calibrations: Mutex::new(HashMap::new()),
+            traces: TraceCache::new(),
             executed: AtomicUsize::new(0),
             jobs: par::default_jobs(),
         }
@@ -98,8 +100,18 @@ impl Context {
                 None => Machine::dram_only(platform),
                 Some(kind) => Machine::slow_only(platform, kind),
             };
-            Arc::new(machine.run(workload))
+            // Route through the shared trace cache: the op stream is
+            // generated once per workload, not once per endpoint run.
+            Arc::new(machine.run(&self.traces.wrap(workload)))
         }))
+    }
+
+    /// The shared op-trace cache. Experiments that execute workloads
+    /// outside [`Context::run`] (policy evaluations, custom placements)
+    /// wrap them with [`TraceCache::wrap`] so every consumer shares one
+    /// generated trace per workload.
+    pub fn traces(&self) -> &TraceCache {
+        &self.traces
     }
 
     /// Simulates every listed endpoint run that is not already cached,
@@ -258,6 +270,18 @@ mod tests {
         let c = ctx.run(Platform::Skx2s, Some(DeviceKind::CxlA), &w);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(ctx.runs_executed(), 2);
+    }
+
+    #[test]
+    fn endpoint_runs_share_one_trace_generation() {
+        let ctx = Context::new();
+        let w = PointerChase::new("ctx-trace-share", 1, 1 << 14, 1, 5_000);
+        let _ = ctx.run(Platform::Skx2s, None, &w);
+        let _ = ctx.run(Platform::Skx2s, Some(DeviceKind::CxlA), &w);
+        let _ = ctx.run(Platform::Spr2s, None, &w);
+        assert_eq!(ctx.runs_executed(), 3);
+        assert_eq!(ctx.traces().generated(), 1, "one trace feeds all endpoint runs");
+        assert_eq!(ctx.traces().hits(), 2);
     }
 
     #[test]

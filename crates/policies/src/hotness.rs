@@ -22,7 +22,9 @@ struct PageStats {
 fn profile_pages(workload: &dyn Workload) -> HashMap<u64, PageStats> {
     let mut pages: HashMap<u64, PageStats> = HashMap::new();
     let mut position = 0u64;
-    for op in workload.ops() {
+    // Profile over the shared trace: cached workloads pay no regeneration.
+    let trace = workload.trace();
+    for op in trace.iter() {
         let addr = match op {
             Op::Load { addr, .. } | Op::Store { addr } => addr,
             Op::Compute { .. } => continue,

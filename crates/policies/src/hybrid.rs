@@ -43,10 +43,12 @@ impl TieringPolicy for HybridCamp {
         let predictor = ctx
             .predictor
             .expect("HybridCamp requires a calibrated predictor in the context");
-        // Profiling pass: per-page traffic.
+        // Profiling pass over the shared trace: per-page traffic (cached
+        // workloads pay no regeneration).
         let mut pages: HashMap<u64, u64> = HashMap::new();
         let mut total_accesses = 0u64;
-        for op in workload.ops() {
+        let trace = workload.trace();
+        for op in trace.iter() {
             let addr = match op {
                 Op::Load { addr, .. } | Op::Store { addr } => addr,
                 Op::Compute { .. } => continue,

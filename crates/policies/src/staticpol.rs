@@ -41,7 +41,10 @@ impl TieringPolicy for FirstTouch {
         let mut fast: HashSet<u64> = HashSet::new();
         let mut seen: HashSet<u64> = HashSet::new();
         let (mut fast_accesses, mut total_accesses) = (0u64, 0u64);
-        for op in workload.ops() {
+        // Profile over the shared trace: when the workload's trace is
+        // cached (experiment harness), this pass costs no regeneration.
+        let trace = workload.trace();
+        for op in trace.iter() {
             let addr = match op {
                 Op::Load { addr, .. } | Op::Store { addr } => addr,
                 Op::Compute { .. } => continue,

@@ -18,6 +18,7 @@ use crate::config::{CounterFlavor, DeviceKind, Platform, PlatformConfig, LINE_BY
 use crate::inflight::{InflightBuffer, Time, WaitClass};
 use crate::mem::Device;
 use crate::op::{Op, Workload};
+use crate::optrace::OpTrace;
 use crate::placement::{Placement, PlacementState, TierId};
 use crate::prefetch::StreamPrefetcher;
 use crate::report::{RunReport, TierReport};
@@ -149,13 +150,27 @@ impl Machine {
     /// Panics if the placement routes pages to a slow tier but no slow
     /// device was configured.
     pub fn run(&self, workload: &dyn Workload) -> RunReport {
+        let trace = workload.trace();
+        self.run_trace(workload, &trace)
+    }
+
+    /// Runs a workload from an explicit packed trace (see
+    /// [`Workload::trace`]). [`Machine::run`] is this plus trace
+    /// resolution; callers that already hold a shared trace (the
+    /// experiment harness's cache, benchmarks) skip the resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement routes pages to a slow tier but no slow
+    /// device was configured.
+    pub fn run_trace(&self, workload: &dyn Workload, trace: &OpTrace) -> RunReport {
         assert!(
             !self.placement.uses_slow_tier() || self.slow_kind.is_some(),
             "placement needs a slow tier but none is configured"
         );
         SCRATCH.with(|cell| {
             let mut scratch = cell.borrow_mut();
-            Engine::new(self, workload, &mut scratch).execute(workload)
+            Engine::new(self, workload, &mut scratch).execute(workload, trace)
         })
     }
 }
@@ -636,66 +651,81 @@ impl<'a> Engine<'a> {
 
     // ---- main loop ----------------------------------------------------
 
-    fn execute(mut self, workload: &dyn Workload) -> RunReport {
+    /// Ops ingested per batch: large enough that the per-batch loop
+    /// overhead vanishes, small enough that a batch's packed records stay
+    /// L1-resident while they decode.
+    const OP_BATCH: usize = 4096;
+
+    fn execute(mut self, workload: &dyn Workload, trace: &OpTrace) -> RunReport {
         let window = self.cfg.sched_window as u64;
-        for op in workload.ops() {
-            // Scheduler window: instruction i may issue only once
-            // instruction i - sched_window has retired.
-            while let Some(&(idx, t)) = self.scratch.rob_history.front() {
-                if idx + window <= self.inst_count {
-                    self.rob_floor = self.rob_floor.max(t);
-                    self.scratch.rob_history.pop_front();
-                } else {
-                    break;
-                }
+        // Batched slice ingestion: the hottest loop in the simulator walks
+        // flat 12-byte records with an inlined decode, not a boxed virtual
+        // iterator over 16-byte enums.
+        for batch in trace.packed().chunks(Self::OP_BATCH) {
+            for packed in batch {
+                self.step(packed.decode(), window);
             }
-            match op {
-                Op::Compute { cycles } => {
-                    let cycles = cycles as f64;
-                    self.issue_cursor =
-                        (self.issue_cursor + cycles * self.retire_cost).max(self.rob_floor);
-                    self.retire_t += cycles;
-                    self.inst_count += op.instructions();
-                }
-                Op::Load { addr, dep } => {
-                    let mut issue_t = (self.issue_cursor + self.retire_cost).max(self.rob_floor);
-                    if dep > 0 {
-                        // Depend on the dep-th previous load's data.
-                        let n = self.scratch.recent_load_completions.len();
-                        if let Some(&ready) = n
-                            .checked_sub(dep as usize)
-                            .and_then(|i| self.scratch.recent_load_completions.get(i))
-                        {
-                            issue_t = issue_t.max(ready);
-                        }
-                    }
-                    self.issue_cursor = issue_t;
-                    let (complete, class) = self.demand_load(addr, issue_t);
-                    if self.scratch.recent_load_completions.len() == 64 {
-                        self.scratch.recent_load_completions.pop_front();
-                    }
-                    self.scratch.recent_load_completions.push_back(complete);
-                    let natural = self.retire_t + self.retire_cost;
-                    if complete > natural {
-                        self.attribute_stall(class, complete - natural);
-                        self.retire_t = complete;
-                    } else {
-                        self.retire_t = natural;
-                    }
-                    self.inst_count += 1;
-                }
-                Op::Store { addr } => {
-                    self.issue_cursor = (self.issue_cursor + self.retire_cost).max(self.rob_floor);
-                    let natural = self.retire_t + self.retire_cost;
-                    let admit_t = self.store(addr, natural);
-                    self.retire_t = admit_t.max(natural);
-                    self.inst_count += 1;
-                }
-            }
-            self.scratch.rob_history.push_back((self.inst_count, self.retire_t));
-            self.maybe_sample();
         }
         self.finish(workload)
+    }
+
+    #[inline]
+    fn step(&mut self, op: Op, window: u64) {
+        // Scheduler window: instruction i may issue only once
+        // instruction i - sched_window has retired.
+        while let Some(&(idx, t)) = self.scratch.rob_history.front() {
+            if idx + window <= self.inst_count {
+                self.rob_floor = self.rob_floor.max(t);
+                self.scratch.rob_history.pop_front();
+            } else {
+                break;
+            }
+        }
+        match op {
+            Op::Compute { cycles } => {
+                let cycles = cycles as f64;
+                self.issue_cursor =
+                    (self.issue_cursor + cycles * self.retire_cost).max(self.rob_floor);
+                self.retire_t += cycles;
+                self.inst_count += op.instructions();
+            }
+            Op::Load { addr, dep } => {
+                let mut issue_t = (self.issue_cursor + self.retire_cost).max(self.rob_floor);
+                if dep > 0 {
+                    // Depend on the dep-th previous load's data.
+                    let n = self.scratch.recent_load_completions.len();
+                    if let Some(&ready) = n
+                        .checked_sub(dep as usize)
+                        .and_then(|i| self.scratch.recent_load_completions.get(i))
+                    {
+                        issue_t = issue_t.max(ready);
+                    }
+                }
+                self.issue_cursor = issue_t;
+                let (complete, class) = self.demand_load(addr, issue_t);
+                if self.scratch.recent_load_completions.len() == 64 {
+                    self.scratch.recent_load_completions.pop_front();
+                }
+                self.scratch.recent_load_completions.push_back(complete);
+                let natural = self.retire_t + self.retire_cost;
+                if complete > natural {
+                    self.attribute_stall(class, complete - natural);
+                    self.retire_t = complete;
+                } else {
+                    self.retire_t = natural;
+                }
+                self.inst_count += 1;
+            }
+            Op::Store { addr } => {
+                self.issue_cursor = (self.issue_cursor + self.retire_cost).max(self.rob_floor);
+                let natural = self.retire_t + self.retire_cost;
+                let admit_t = self.store(addr, natural);
+                self.retire_t = admit_t.max(natural);
+                self.inst_count += 1;
+            }
+        }
+        self.scratch.rob_history.push_back((self.inst_count, self.retire_t));
+        self.maybe_sample();
     }
 
     fn finish(mut self, workload: &dyn Workload) -> RunReport {

@@ -15,7 +15,10 @@
 //! - page-granular tier placement, including Linux-style weighted
 //!   interleaving ([`placement`]),
 //! - an out-of-order engine that attributes every exposed stall cycle to
-//!   the PMU counter a real machine would attribute it to ([`engine`]).
+//!   the PMU counter a real machine would attribute it to ([`engine`]),
+//! - a compact packed op-trace layer with a single-flight cache
+//!   ([`optrace`]) so one generated op stream feeds every engine run and
+//!   every policy profiling pass.
 //!
 //! Runs produce a [`RunReport`] holding the full Table 5 counter set, which
 //! the `camp-core` models consume exactly as they would consume `perf`
@@ -48,6 +51,7 @@ pub mod engine;
 pub mod inflight;
 pub mod mem;
 pub mod op;
+pub mod optrace;
 pub mod placement;
 pub mod prefetch;
 pub mod report;
@@ -61,5 +65,6 @@ pub use config::{
 };
 pub use engine::Machine;
 pub use op::{Op, Workload};
+pub use optrace::{CachedTrace, OpTrace, PackedOp, TraceCache, TraceStats};
 pub use placement::{Placement, TierId};
 pub use report::{RunReport, TierReport};

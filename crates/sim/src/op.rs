@@ -108,6 +108,21 @@ pub trait Workload: Send + Sync {
     /// sequence, so DRAM and CXL runs of the same workload see identical
     /// instruction streams.
     fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_>;
+
+    /// The workload's op stream as a shared packed trace — what the engine
+    /// actually executes.
+    ///
+    /// The default implementation materialises [`Workload::ops`] on every
+    /// call, so custom workloads keep working unchanged. Implementations
+    /// that already hold a materialised stream (or can share one — see
+    /// [`crate::optrace::TraceCache::wrap`]) override this to return a
+    /// cached `Arc` and skip regeneration entirely. Must decode
+    /// element-for-element equal to [`Workload::ops`]: the engine's
+    /// determinism contract (identical reports from either path) depends
+    /// on it.
+    fn trace(&self) -> std::sync::Arc<crate::optrace::OpTrace> {
+        std::sync::Arc::new(crate::optrace::OpTrace::from_ops(self.ops()))
+    }
 }
 
 impl Workload for Box<dyn Workload> {
@@ -122,6 +137,9 @@ impl Workload for Box<dyn Workload> {
     }
     fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
         self.as_ref().ops()
+    }
+    fn trace(&self) -> std::sync::Arc<crate::optrace::OpTrace> {
+        self.as_ref().trace()
     }
 }
 
@@ -173,5 +191,16 @@ mod tests {
         let a: Vec<Op> = w.ops().collect();
         let b: Vec<Op> = w.ops().collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_trace_matches_ops() {
+        let w = TwoLoads;
+        let from_ops: Vec<Op> = w.ops().collect();
+        let from_trace: Vec<Op> = w.trace().iter().collect();
+        assert_eq!(from_ops, from_trace);
+        let boxed: Box<dyn Workload> = Box::new(TwoLoads);
+        let via_box: Vec<Op> = boxed.trace().iter().collect();
+        assert_eq!(from_ops, via_box);
     }
 }

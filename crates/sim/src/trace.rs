@@ -33,7 +33,9 @@
 //! ```
 
 use crate::op::{Op, Workload};
+use crate::optrace::OpTrace;
 use std::io::{self, Read, Write};
+use std::sync::Arc;
 
 const MAGIC: u32 = 0x434d_5054; // "CMPT"
 const VERSION: u16 = 1;
@@ -146,12 +148,15 @@ impl<W: Write> TraceWriter<W> {
 }
 
 /// A recorded trace, replayable as a [`Workload`].
+///
+/// The parsed ops are held as a shared packed [`OpTrace`], so cloning a
+/// reader and running it on many machines shares one materialisation.
 #[derive(Debug, Clone)]
 pub struct TraceReader {
     name: String,
     threads: u32,
     footprint_bytes: u64,
-    ops: Vec<Op>,
+    ops: Arc<OpTrace>,
 }
 
 impl TraceReader {
@@ -224,7 +229,7 @@ impl TraceReader {
             name: name.into(),
             threads: threads.max(1),
             footprint_bytes,
-            ops,
+            ops: Arc::new(OpTrace::from_ops(ops)),
         })
     }
 
@@ -253,7 +258,11 @@ impl Workload for TraceReader {
     }
 
     fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
-        Box::new(self.ops.iter().copied())
+        Box::new(self.ops.iter())
+    }
+
+    fn trace(&self) -> Arc<OpTrace> {
+        Arc::clone(&self.ops)
     }
 }
 
