@@ -14,7 +14,7 @@
 //! buffered and printed in registry order, so stdout and the archived
 //! TSVs are byte-identical to a serial (`--jobs 1`) run.
 
-use camp_bench::{experiments, par, run_experiment, Context};
+use camp_bench::{experiments, par, run_experiment, Context, ExperimentError, Table};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -31,7 +31,9 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut jobs = par::default_jobs();
     if let Some(pos) = args.iter().position(|a| a == "--out") {
         args.remove(pos);
-        if pos < args.len() {
+        // Reject a following flag as the value: `--out --jobs 4 all` used
+        // to silently archive into a directory named "--jobs".
+        if pos < args.len() && !args[pos].starts_with('-') {
             results_dir = Some(PathBuf::from(args.remove(pos)));
         } else {
             return Err("--out requires a directory".into());
@@ -48,7 +50,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     }
     if let Some(pos) = args.iter().position(|a| a == "--jobs" || a == "-j") {
         args.remove(pos);
-        if pos < args.len() {
+        if pos < args.len() && !args[pos].starts_with('-') {
             jobs = args
                 .remove(pos)
                 .parse::<usize>()
@@ -103,23 +105,21 @@ fn main() -> ExitCode {
         let outcome = run_experiment(id, &ctx, &mut buffer, args.results_dir.as_deref());
         (buffer, outcome)
     });
+    // Successful experiments print in input order; a failed experiment's
+    // partial buffer is discarded (keeping stdout byte-identical to a run
+    // without the failure) and reported in the summary below, after every
+    // requested experiment has had its chance to run.
+    let mut failures: Vec<ExperimentError> = Vec::new();
     let mut stdout = std::io::stdout().lock();
-    for (id, (buffer, outcome)) in args.ids.iter().zip(outputs) {
+    for (buffer, outcome) in outputs {
         match outcome {
-            Ok(true) => {
+            Ok(()) => {
                 use std::io::Write;
                 if stdout.write_all(&buffer).is_err() {
                     return ExitCode::FAILURE;
                 }
             }
-            Ok(false) => {
-                eprintln!("unknown experiment '{id}' (try `repro list`)");
-                return ExitCode::FAILURE;
-            }
-            Err(err) => {
-                eprintln!("i/o error while running {id}: {err}");
-                return ExitCode::FAILURE;
-            }
+            Err(error) => failures.push(error),
         }
     }
     if args.trace_stats {
@@ -146,5 +146,21 @@ fn main() -> ExitCode {
         args.jobs,
         start.elapsed().as_secs_f64()
     );
+    if !failures.is_empty() {
+        let mut summary = Table::new(
+            format!("{} of {} experiments FAILED", failures.len(), args.ids.len()),
+            &["experiment", "error"],
+        );
+        for failure in &failures {
+            let detail = match failure {
+                ExperimentError::UnknownId { .. } => "unknown experiment".to_string(),
+                ExperimentError::Io { error, .. } => format!("i/o: {error}"),
+                ExperimentError::Failed { detail, .. } => detail.clone(),
+            };
+            summary.row(&[failure.id().to_string(), detail]);
+        }
+        eprint!("{}", summary.render());
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

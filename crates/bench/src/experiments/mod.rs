@@ -23,6 +23,21 @@ pub mod table6;
 
 use crate::harness::{Context, Table};
 
+/// Environment variable that, when set, injects a deliberately failing
+/// experiment (id `fail-inject`) into the registry. Used to test that a
+/// sweep isolates one experiment's failure: the injected experiment does
+/// one real (tiny) endpoint run through the shared [`Context`], then
+/// panics naming its workload.
+pub const FAIL_INJECT_ENV: &str = "CAMP_REPRO_FAIL_INJECT";
+
+fn fail_inject(ctx: &Context) -> Vec<Table> {
+    use camp_sim::Platform;
+    use camp_workloads::kernels::PointerChase;
+    let workload = PointerChase::new("inject.fail-probe", 1, 1 << 12, 1, 1_000);
+    let report = ctx.run(Platform::Spr2s, None, &workload);
+    panic!("injected failure after endpoint run of workload '{}'", report.workload);
+}
+
 /// An experiment id with its runner and a one-line description.
 pub struct Experiment {
     /// CLI id (`repro <id>`).
@@ -33,9 +48,10 @@ pub struct Experiment {
     pub run: fn(&Context) -> Vec<Table>,
 }
 
-/// The experiment registry, in paper order.
+/// The experiment registry, in paper order (plus the injected failure
+/// experiment when [`FAIL_INJECT_ENV`] is set).
 pub fn registry() -> Vec<Experiment> {
-    vec![
+    let mut experiments = vec![
         Experiment {
             id: "table1",
             description: "Pearson correlation of baseline metrics vs CAMP (Table 1)",
@@ -161,7 +177,15 @@ pub fn registry() -> Vec<Experiment> {
             description: "Ablation: bandwidth-saturation extension of the predictor",
             run: ablations::saturation,
         },
-    ]
+    ];
+    if std::env::var_os(FAIL_INJECT_ENV).is_some() {
+        experiments.push(Experiment {
+            id: "fail-inject",
+            description: "Injected failure (fault-isolation testing only)",
+            run: fail_inject,
+        });
+    }
+    experiments
 }
 
 /// Looks up an experiment by id.

@@ -72,11 +72,17 @@ impl Context {
 
     /// The single-flight cell for `key`, creating it if absent. The shard
     /// lock is held only for the map lookup, never while simulating.
+    ///
+    /// A poisoned shard is recovered, not propagated: the lock only ever
+    /// guards the map structure (entries are `Arc`-cloned out before any
+    /// simulation), so a panic on another thread cannot leave the map in a
+    /// torn state — and one failed experiment must not take the cache down
+    /// for the rest of a sweep.
     fn run_cell(&self, key: &RunKey) -> Cell<RunReport> {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
         let shard = (hasher.finish() as usize) % RUN_SHARDS;
-        let mut map = self.runs[shard].lock().expect("run shard poisoned");
+        let mut map = self.runs[shard].lock().unwrap_or_else(|poison| poison.into_inner());
         Arc::clone(map.entry(key.clone()).or_default())
     }
 
@@ -86,6 +92,14 @@ impl Context {
     /// Concurrent calls with the same key are single-flight: exactly one
     /// thread simulates, the rest block on the memo cell and share the
     /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation rejects the configuration or dies mid-run;
+    /// the payload is enriched to name the platform, device, and workload,
+    /// so a failure surfacing through a parallel sweep is attributable. A
+    /// panicking initialiser leaves the memo cell empty (not wedged): later
+    /// requests for the same key retry, and other keys are unaffected.
     pub fn run(
         &self,
         platform: Platform,
@@ -102,7 +116,24 @@ impl Context {
             };
             // Route through the shared trace cache: the op stream is
             // generated once per workload, not once per endpoint run.
-            Arc::new(machine.run(&self.traces.wrap(workload)))
+            let traced = self.traces.wrap(workload);
+            let attempt =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| machine.run(&traced)));
+            match attempt {
+                Ok(report) => Arc::new(report),
+                Err(payload) => {
+                    let device = match device {
+                        None => "dram-only".to_string(),
+                        Some(kind) => kind.to_string(),
+                    };
+                    panic!(
+                        "endpoint run failed (platform {platform}, device {device}, \
+                         workload '{}'): {}",
+                        workload.name(),
+                        crate::panic_detail(payload.as_ref())
+                    );
+                }
+            }
         }))
     }
 
@@ -150,10 +181,15 @@ impl Context {
     /// Single-flight, like [`Context::run`].
     pub fn calibration(&self, platform: Platform, device: DeviceKind) -> Arc<Calibration> {
         let cell = {
-            let mut map = self.calibrations.lock().expect("calibration map poisoned");
+            let mut map = self.calibrations.lock().unwrap_or_else(|poison| poison.into_inner());
             Arc::clone(map.entry((platform, device)).or_default())
         };
-        Arc::clone(cell.get_or_init(|| Arc::new(Calibration::fit(platform, device))))
+        Arc::clone(cell.get_or_init(|| match Calibration::try_fit(platform, device) {
+            Ok(calibration) => Arc::new(calibration),
+            Err(error) => {
+                panic!("calibration failed (platform {platform}, device {device}): {error}")
+            }
+        }))
     }
 
     /// Convenience: a predictor for a (platform, device) pair.
@@ -300,6 +336,47 @@ mod tests {
         let b = ctx.run(Platform::Skx2s, None, &w1);
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(ctx.runs_executed(), 3);
+    }
+
+    #[test]
+    fn failed_run_names_its_endpoint_and_leaves_the_cache_usable() {
+        struct Broken;
+        impl Workload for Broken {
+            fn name(&self) -> &str {
+                "ctx-broken"
+            }
+            fn footprint_bytes(&self) -> u64 {
+                0 // rejected by Machine validation
+            }
+            fn ops(&self) -> Box<dyn Iterator<Item = camp_sim::Op> + '_> {
+                Box::new(std::iter::empty())
+            }
+        }
+        let ctx = Context::new();
+        let failure = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.run(Platform::Spr2s, Some(DeviceKind::CxlA), &Broken)
+        }))
+        .expect_err("broken workload must not produce a report");
+        let detail = crate::panic_detail(failure.as_ref());
+        assert!(detail.contains("ctx-broken"), "payload names the workload: {detail}");
+        assert!(
+            detail.contains(&Platform::Spr2s.to_string()),
+            "payload names the platform: {detail}"
+        );
+        assert!(
+            detail.contains(&DeviceKind::CxlA.to_string()),
+            "payload names the device: {detail}"
+        );
+        // The failure must not wedge the cache: other keys still simulate,
+        // and retrying the broken key fails identically instead of hanging
+        // on a half-initialised cell.
+        let w = PointerChase::new("ctx-after-failure", 1, 1 << 14, 1, 5_000);
+        let report = ctx.run(Platform::Spr2s, None, &w);
+        assert_eq!(report.workload, "ctx-after-failure");
+        let retry = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.run(Platform::Spr2s, Some(DeviceKind::CxlA), &Broken)
+        }));
+        assert!(retry.is_err(), "retry of the broken key fails loudly again");
     }
 
     #[test]

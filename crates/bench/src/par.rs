@@ -53,7 +53,9 @@ where
                     }
                     local.push((index, f(&items[index])));
                 }
-                let mut slots = slots.lock().expect("slot vector poisoned");
+                // Recover a poisoned lock: slot writes are index-disjoint,
+                // so a panic on a sibling worker cannot tear this state.
+                let mut slots = slots.lock().unwrap_or_else(|poison| poison.into_inner());
                 for (index, result) in local {
                     slots[index] = Some(result);
                 }
@@ -67,7 +69,7 @@ where
     });
     slots
         .into_inner()
-        .expect("slot vector poisoned")
+        .unwrap_or_else(|poison| poison.into_inner())
         .iter_mut()
         .map(|slot| slot.take().expect("every index visited"))
         .collect()

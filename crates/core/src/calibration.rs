@@ -13,6 +13,7 @@
 //! Calibration requires slow-tier execution of *microbenchmarks only*;
 //! production workloads are then predicted from a single DRAM run.
 
+use crate::error::ModelError;
 use crate::signature::{MeasuredComponents, Signature};
 use crate::stats::{proportional_fit, Hyperbola};
 use camp_sim::{DeviceKind, Machine, Platform, Workload};
@@ -65,14 +66,36 @@ impl Calibration {
         Self::fit_with(platform, device, &camp_workloads::calibration_suite())
     }
 
+    /// Fallible variant of [`Calibration::fit`].
+    pub fn try_fit(platform: Platform, device: DeviceKind) -> Result<Self, ModelError> {
+        Self::try_fit_with(platform, device, &camp_workloads::calibration_suite())
+    }
+
     /// Fits constants from a caller-supplied probe set (useful for tests
     /// and for studying calibration sensitivity).
     ///
     /// # Panics
     ///
-    /// Panics if `probes` is empty.
+    /// Panics if `probes` is empty or a probe run is rejected (see
+    /// [`Calibration::try_fit_with`]).
     pub fn fit_with(platform: Platform, device: DeviceKind, probes: &[Box<dyn Workload>]) -> Self {
-        assert!(!probes.is_empty(), "calibration needs probes");
+        Self::try_fit_with(platform, device, probes)
+            .unwrap_or_else(|error| panic!("calibration needs probes and valid runs: {error}"))
+    }
+
+    /// Fallible variant of [`Calibration::fit_with`]: rejects an empty
+    /// probe set with [`ModelError::NoProbes`] and surfaces any
+    /// simulation-level rejection of a probe run (invalid platform/device
+    /// parameters, empty probe footprint) as [`ModelError::Sim`] instead
+    /// of panicking mid-fit.
+    pub fn try_fit_with(
+        platform: Platform,
+        device: DeviceKind,
+        probes: &[Box<dyn Workload>],
+    ) -> Result<Self, ModelError> {
+        if probes.is_empty() {
+            return Err(ModelError::NoProbes);
+        }
         let dram_machine = Machine::dram_only(platform);
         let slow_machine = Machine::slow_only(platform, device);
 
@@ -83,8 +106,8 @@ impl Calibration {
         let mut dram_idle = 0.0;
         let mut slow_idle = 0.0;
         for probe in probes {
-            let d = dram_machine.run(probe);
-            let s = slow_machine.run(probe);
+            let d = dram_machine.try_run(probe.as_ref())?;
+            let s = slow_machine.try_run(probe.as_ref())?;
             dram_idle = d.fast_tier.idle_latency_cycles;
             slow_idle = s.slow_tier.as_ref().map(|t| t.idle_latency_cycles).unwrap_or(slow_idle);
             let sig_d = Signature::from_report(&d);
@@ -129,7 +152,7 @@ impl Calibration {
         let truth_cache: Vec<f64> = measured.iter().map(|m| m.cache).collect();
         let truth_store: Vec<f64> = measured.iter().map(|m| m.store).collect();
 
-        Calibration {
+        Ok(Calibration {
             platform,
             device,
             hyperbola,
@@ -141,7 +164,7 @@ impl Calibration {
             dram_idle_latency: dram_idle,
             slow_idle_latency: slow_idle,
             samples: probes.len(),
-        }
+        })
     }
 
     /// Idle-latency ratio of the calibrated slow tier over DRAM (the
@@ -205,5 +228,31 @@ mod tests {
     #[should_panic(expected = "needs probes")]
     fn empty_probe_set_rejected() {
         let _ = Calibration::fit_with(Platform::Spr2s, DeviceKind::CxlA, &[]);
+    }
+
+    #[test]
+    fn try_fit_reports_typed_errors() {
+        assert_eq!(
+            Calibration::try_fit_with(Platform::Spr2s, DeviceKind::CxlA, &[]).unwrap_err(),
+            ModelError::NoProbes
+        );
+        // A zero-footprint probe is rejected by the simulator at
+        // construction time and surfaces as a Sim error, not a panic.
+        struct Empty;
+        impl Workload for Empty {
+            fn name(&self) -> &str {
+                "calib.t-empty"
+            }
+            fn footprint_bytes(&self) -> u64 {
+                0
+            }
+            fn ops(&self) -> Box<dyn Iterator<Item = camp_sim::Op> + '_> {
+                Box::new(std::iter::empty())
+            }
+        }
+        let probes: Vec<Box<dyn Workload>> = vec![Box::new(Empty)];
+        let error =
+            Calibration::try_fit_with(Platform::Spr2s, DeviceKind::CxlA, &probes).unwrap_err();
+        assert!(matches!(error, ModelError::Sim(_)), "got {error:?}");
     }
 }

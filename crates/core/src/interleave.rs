@@ -16,9 +16,35 @@
 //! need only the DRAM run — their CXL endpoint stalls come from the §4
 //! predictor; bandwidth-bound workloads use a second run on the slow tier.
 
+use crate::error::ModelError;
 use crate::model::{CampPredictor, SlowdownPrediction};
 use crate::signature::Signature;
 use camp_sim::{DeviceKind, Machine, Platform, RunReport, Workload};
+
+/// Rejects a signature whose counter-derived fields picked up a NaN or
+/// infinity upstream, naming the workload and field.
+fn check_signature(workload: &str, sig: &Signature) -> Result<(), ModelError> {
+    for (field, value) in [
+        ("cycles", sig.cycles),
+        ("memory_active", sig.memory_active),
+        ("s_llc", sig.s_llc),
+        ("s_cache", sig.s_cache),
+        ("s_sb", sig.s_sb),
+        ("latency", sig.latency),
+        ("mlp", sig.mlp),
+        ("r_lfb_hit", sig.r_lfb_hit),
+        ("r_mem", sig.r_mem),
+    ] {
+        if !value.is_finite() {
+            return Err(ModelError::NonFiniteSignature {
+                workload: workload.to_string(),
+                field,
+                value,
+            });
+        }
+    }
+    Ok(())
+}
 
 /// Default classification tolerance `τ` (§5.3): a workload is
 /// bandwidth-bound when its loaded DRAM latency exceeds the unloaded
@@ -37,15 +63,40 @@ pub enum Boundness {
 
 /// Classifies a DRAM run by comparing the memory-controller-level loaded
 /// read latency against the device's unloaded latency (the `τ` test of
-/// §5.3).
-pub fn classify(dram: &RunReport, tau: f64) -> Boundness {
+/// §5.3), rejecting runs too degenerate to classify: a run whose DRAM
+/// controller served **no demand reads** has no loaded latency, so the τ
+/// test is meaningless (and silently calling such a run latency-bound
+/// would hide cache-resident or store-only workloads from the two-run
+/// workflow).
+pub fn try_classify(dram: &RunReport, tau: f64) -> Result<Boundness, ModelError> {
     let idle = dram.fast_tier.idle_latency_cycles;
-    let loaded = dram.fast_tier.avg_read_latency().unwrap_or(idle);
-    if loaded > idle * (1.0 + tau) {
-        Boundness::BandwidthBound
-    } else {
-        Boundness::LatencyBound
+    let Some(loaded) = dram.fast_tier.avg_read_latency() else {
+        return Err(ModelError::DegenerateRun {
+            workload: dram.workload.clone(),
+            reason: "DRAM run served no demand reads, so no loaded latency exists to classify",
+        });
+    };
+    if !loaded.is_finite() || !idle.is_finite() {
+        return Err(ModelError::NonFiniteSignature {
+            workload: dram.workload.clone(),
+            field: "loaded_latency",
+            value: if loaded.is_finite() { idle } else { loaded },
+        });
     }
+    if loaded > idle * (1.0 + tau) {
+        Ok(Boundness::BandwidthBound)
+    } else {
+        Ok(Boundness::LatencyBound)
+    }
+}
+
+/// Infallible wrapper around [`try_classify`] with a documented policy for
+/// degenerate runs: a run that served no demand reads cannot saturate a
+/// memory tier, so it is classified [`Boundness::LatencyBound`] (the
+/// one-run workflow — which is also the cheap path, appropriate for a
+/// workload that barely touches memory).
+pub fn classify(dram: &RunReport, tau: f64) -> Boundness {
+    try_classify(dram, tau).unwrap_or(Boundness::LatencyBound)
 }
 
 /// Per-component endpoint stall cycles (`s_LLC`, `s_Cache`, `s_SB` of one
@@ -111,6 +162,26 @@ impl TierEndpoint {
         }
     }
 
+    /// Validating constructor: rejects non-finite latencies, negative
+    /// idle latency, and inverted endpoints (full-load latency below the
+    /// unloaded latency — [`TierEndpoint::latency`] would silently clamp
+    /// the contention term to zero, hiding a measurement or configuration
+    /// bug).
+    pub fn try_new(
+        idle_latency: f64,
+        full_latency: f64,
+        stalls: ComponentStalls,
+    ) -> Result<Self, ModelError> {
+        if !idle_latency.is_finite()
+            || !full_latency.is_finite()
+            || idle_latency < 0.0
+            || full_latency < idle_latency
+        {
+            return Err(ModelError::InvalidEndpoint { idle: idle_latency, full: full_latency });
+        }
+        Ok(TierEndpoint::new(idle_latency, full_latency, stalls))
+    }
+
     fn exponent(&self) -> f64 {
         match self.curve {
             LatencyCurve::Quadratic => 2.0,
@@ -169,30 +240,57 @@ impl InterleaveModel {
     }
 
     /// Builds the model from two endpoint runs (the bandwidth-bound
-    /// workflow of Figure 12).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `slow` has no slow tier.
-    pub fn from_endpoint_runs(dram: &RunReport, slow: &RunReport) -> Self {
-        let slow_tier = slow.slow_tier.as_ref().expect("slow endpoint run uses a slow tier");
+    /// workflow of Figure 12), rejecting degenerate inputs with a typed
+    /// error: a `slow` run with no slow tier ([`ModelError::MissingSlowTier`])
+    /// or signatures carrying NaN/∞ ([`ModelError::NonFiniteSignature`]).
+    /// Measured loaded latencies marginally below idle (per-request jitter)
+    /// are clamped to the idle latency.
+    pub fn try_from_endpoint_runs(dram: &RunReport, slow: &RunReport) -> Result<Self, ModelError> {
+        let Some(slow_tier) = slow.slow_tier.as_ref() else {
+            return Err(ModelError::MissingSlowTier { workload: slow.workload.clone() });
+        };
         let sig_d = Signature::from_report(dram);
         let sig_s = Signature::from_report(slow);
-        InterleaveModel {
-            dram: TierEndpoint::new(
+        check_signature(&dram.workload, &sig_d)?;
+        check_signature(&slow.workload, &sig_s)?;
+        let endpoint = |idle: f64, loaded: Option<f64>, stalls: ComponentStalls| {
+            TierEndpoint::try_new(idle, loaded.unwrap_or(idle).max(idle), stalls)
+        };
+        Ok(InterleaveModel {
+            dram: endpoint(
                 dram.fast_tier.idle_latency_cycles,
-                dram.fast_tier.avg_read_latency().unwrap_or(dram.fast_tier.idle_latency_cycles),
+                dram.fast_tier.avg_read_latency(),
                 ComponentStalls::from_signature(&sig_d),
-            ),
-            slow: TierEndpoint::new(
+            )?,
+            slow: endpoint(
                 slow_tier.idle_latency_cycles,
-                slow_tier.avg_read_latency().unwrap_or(slow_tier.idle_latency_cycles),
+                slow_tier.avg_read_latency(),
                 ComponentStalls::from_signature(&sig_s),
-            ),
+            )?,
             baseline_cycles: dram.cycles,
             boundness: Boundness::BandwidthBound,
             profiling_runs: 2,
-        }
+        })
+    }
+
+    /// Panicking wrapper around [`InterleaveModel::try_from_endpoint_runs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ModelError`] diagnostic if `slow` has no slow
+    /// tier or a signature is non-finite.
+    pub fn from_endpoint_runs(dram: &RunReport, slow: &RunReport) -> Self {
+        Self::try_from_endpoint_runs(dram, slow).unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Fallible variant of [`InterleaveModel::from_dram_run`]: rejects
+    /// non-finite signatures with a typed error naming the workload.
+    pub fn try_from_dram_run(
+        dram: &RunReport,
+        predictor: &CampPredictor,
+    ) -> Result<Self, ModelError> {
+        check_signature(&dram.workload, &Signature::from_report(dram))?;
+        Ok(Self::from_dram_run(dram, predictor))
     }
 
     /// Builds the model from a single DRAM run (the latency-bound workflow
@@ -224,8 +322,39 @@ impl InterleaveModel {
         }
     }
 
-    /// Runs the Figure 12 profiling workflow for `workload`: classify the
-    /// DRAM run with tolerance `tau`, then take the one- or two-run path.
+    /// Runs the Figure 12 profiling workflow for `workload` — classify the
+    /// DRAM run with tolerance `tau`, then take the one- or two-run path —
+    /// returning every failure (invalid machine configuration, degenerate
+    /// or non-finite runs) as a typed error instead of panicking. No
+    /// `expect`/`assert!` is reachable from here on invalid input: the
+    /// simulations go through [`Machine::try_run`] and the model
+    /// constructors through their `try_` variants.
+    pub fn try_profile(
+        platform: Platform,
+        device: DeviceKind,
+        workload: &dyn Workload,
+        predictor: &CampPredictor,
+        tau: f64,
+    ) -> Result<Self, ModelError> {
+        let dram = Machine::dram_only(platform).try_run(workload)?;
+        match try_classify(&dram, tau)? {
+            Boundness::LatencyBound => Self::try_from_dram_run(&dram, predictor),
+            Boundness::BandwidthBound => {
+                let slow = Machine::slow_only(platform, device).try_run(workload)?;
+                Self::try_from_endpoint_runs(&dram, &slow)
+            }
+        }
+    }
+
+    /// Panicking wrapper around [`InterleaveModel::try_profile`]. The
+    /// degenerate-run classification failure is mapped to the documented
+    /// [`classify`] policy (latency-bound, one-run path) rather than a
+    /// panic, matching the historical behaviour of this entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ModelError`] diagnostic on invalid machine
+    /// configurations or non-finite signatures.
     pub fn profile(
         platform: Platform,
         device: DeviceKind,
@@ -233,13 +362,13 @@ impl InterleaveModel {
         predictor: &CampPredictor,
         tau: f64,
     ) -> Self {
-        let dram = Machine::dram_only(platform).run(workload);
-        match classify(&dram, tau) {
-            Boundness::LatencyBound => Self::from_dram_run(&dram, predictor),
-            Boundness::BandwidthBound => {
-                let slow = Machine::slow_only(platform, device).run(workload);
-                Self::from_endpoint_runs(&dram, &slow)
+        match Self::try_profile(platform, device, workload, predictor, tau) {
+            Ok(model) => model,
+            Err(ModelError::DegenerateRun { .. }) => {
+                let dram = Machine::dram_only(platform).run(workload);
+                Self::from_dram_run(&dram, predictor)
             }
+            Err(error) => panic!("{error}"),
         }
     }
 
@@ -442,6 +571,68 @@ mod tests {
             let components = model.predict_components(x);
             assert!((components.total() - model.predict_total(x)).abs() < 1e-12, "x = {x}");
         }
+    }
+
+    fn synthetic_report(reads: u64, total_read_latency: f64) -> RunReport {
+        use camp_sim::mem::DeviceStats;
+        use camp_sim::report::TierReport;
+        RunReport {
+            workload: "synthetic".into(),
+            platform: Platform::Spr2s,
+            threads: 1,
+            counters: camp_pmu::CounterSet::new(),
+            cycles: 1000.0,
+            instructions: 1000,
+            seconds: 1e-6,
+            fast_tier: TierReport {
+                device: DeviceKind::LocalDram,
+                stats: DeviceStats { reads, total_read_latency, ..Default::default() },
+                idle_latency_cycles: 239.4,
+            },
+            slow_tier: None,
+            epochs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn degenerate_run_without_demand_reads_is_a_typed_error() {
+        // Zero demand reads: no loaded latency exists, so the τ test is
+        // meaningless. try_classify surfaces it; classify falls back to
+        // the documented latency-bound policy.
+        let report = synthetic_report(0, 0.0);
+        let error = try_classify(&report, DEFAULT_TAU).unwrap_err();
+        assert_eq!(
+            error,
+            ModelError::DegenerateRun {
+                workload: "synthetic".into(),
+                reason: "DRAM run served no demand reads, so no loaded latency exists to classify",
+            }
+        );
+        assert!(error.to_string().contains("'synthetic'"));
+        assert_eq!(classify(&report, DEFAULT_TAU), Boundness::LatencyBound);
+        // A run with demand reads still classifies normally.
+        let loaded = synthetic_report(10, 10.0 * 600.0);
+        assert_eq!(try_classify(&loaded, DEFAULT_TAU), Ok(Boundness::BandwidthBound));
+    }
+
+    #[test]
+    fn endpoint_runs_without_slow_tier_are_a_typed_error() {
+        let dram = synthetic_report(10, 10.0 * 250.0);
+        let error = InterleaveModel::try_from_endpoint_runs(&dram, &dram).unwrap_err();
+        assert_eq!(error, ModelError::MissingSlowTier { workload: "synthetic".into() });
+    }
+
+    #[test]
+    fn inverted_or_non_finite_endpoints_are_rejected() {
+        let stalls = ComponentStalls::default();
+        assert!(matches!(
+            TierEndpoint::try_new(400.0, 200.0, stalls),
+            Err(ModelError::InvalidEndpoint { idle: 400.0, full: 200.0 })
+        ));
+        assert!(TierEndpoint::try_new(f64::NAN, 200.0, stalls).is_err());
+        assert!(TierEndpoint::try_new(200.0, f64::INFINITY, stalls).is_err());
+        assert!(TierEndpoint::try_new(-1.0, 200.0, stalls).is_err());
+        assert!(TierEndpoint::try_new(200.0, 200.0, stalls).is_ok());
     }
 
     #[test]

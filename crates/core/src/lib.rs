@@ -15,6 +15,7 @@
 pub mod baselines;
 pub mod calibration;
 pub mod colocation;
+pub mod error;
 pub mod interleave;
 pub mod model;
 pub mod signature;
@@ -23,6 +24,7 @@ pub mod stats;
 pub use baselines::BaselineMetric;
 pub use calibration::Calibration;
 pub use colocation::{ColocationOutcome, ColocationPolicy};
+pub use error::ModelError;
 pub use interleave::{best_shot, BestShot, Boundness, InterleaveModel};
 pub use model::{CampPredictor, SlowdownPrediction};
 pub use signature::{MeasuredComponents, Signature};

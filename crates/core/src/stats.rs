@@ -4,6 +4,26 @@
 //! correlation (the headline metric of Tables 1 and 6), ordinary and
 //! through-origin least squares, the linearised hyperbolic fit of §4.1.2,
 //! and error-distribution summaries (CDFs, within-threshold shares).
+//!
+//! The distribution summaries come in two flavours: fallible entry points
+//! ([`try_error_summary`], [`try_cdf`]) that reject NaN/∞ samples with a
+//! [`ModelError`] naming the offending series and index, and the legacy
+//! panicking wrappers ([`error_summary`], [`cdf`]) that carry the same
+//! diagnostic in their panic message.
+
+use crate::error::ModelError;
+
+/// Returns the first non-finite value in `series` as a typed error naming
+/// the series, its index and the value — the diagnostic that used to be a
+/// bare `partial_cmp().expect("errors are finite")` panic.
+fn check_finite(name: &'static str, series: &[f64]) -> Result<(), ModelError> {
+    for (index, &value) in series.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(ModelError::NonFiniteSample { series: name, index, value });
+        }
+    }
+    Ok(())
+}
 
 /// Pearson correlation coefficient between two equal-length samples.
 ///
@@ -231,26 +251,41 @@ pub struct ErrorSummary {
 }
 
 /// Summarises absolute errors between predictions and measurements (both
-/// in fractional-slowdown units, so 0.05 = 5 percentage points).
-///
-/// # Panics
-///
-/// Panics if the slices have different lengths or are empty.
-pub fn error_summary(predicted: &[f64], actual: &[f64]) -> ErrorSummary {
-    assert_eq!(predicted.len(), actual.len(), "samples must pair up");
-    assert!(!predicted.is_empty(), "need at least one sample");
+/// in fractional-slowdown units, so 0.05 = 5 percentage points), rejecting
+/// empty, mismatched or non-finite inputs with a [`ModelError`] that names
+/// the offending series (`"predicted"` / `"actual"`) and sample index.
+pub fn try_error_summary(predicted: &[f64], actual: &[f64]) -> Result<ErrorSummary, ModelError> {
+    if predicted.len() != actual.len() {
+        return Err(ModelError::MismatchedSeries { left: predicted.len(), right: actual.len() });
+    }
+    if predicted.is_empty() {
+        return Err(ModelError::EmptySeries { series: "predicted" });
+    }
+    check_finite("predicted", predicted)?;
+    check_finite("actual", actual)?;
     let mut errs: Vec<f64> = predicted.iter().zip(actual).map(|(p, a)| (p - a).abs()).collect();
-    errs.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+    errs.sort_by(f64::total_cmp);
     let count = errs.len();
     let within = |t: f64| errs.iter().filter(|&&e| e <= t).count() as f64 / count as f64;
-    ErrorSummary {
+    Ok(ErrorSummary {
         count,
         mean_abs: errs.iter().sum::<f64>() / count as f64,
         median_abs: quantile_sorted(&errs, 0.5),
         p95_abs: quantile_sorted(&errs, 0.95),
         within_5pct: within(0.05),
         within_10pct: within(0.10),
-    }
+    })
+}
+
+/// Panicking wrapper around [`try_error_summary`] for call sites that
+/// treat degenerate inputs as programming errors.
+///
+/// # Panics
+///
+/// Panics with the [`ModelError`] diagnostic (naming the offending series
+/// and index) on mismatched, empty or non-finite inputs.
+pub fn error_summary(predicted: &[f64], actual: &[f64]) -> ErrorSummary {
+    try_error_summary(predicted, actual).unwrap_or_else(|error| panic!("{error}"))
 }
 
 /// Quantile of an ascending-sorted sample with linear interpolation.
@@ -272,16 +307,28 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Empirical CDF points `(value, cumulative fraction)` for plotting
-/// (Figures 4, 6, 14).
-pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
+/// (Figures 4, 6, 14), rejecting NaN/∞ samples with a [`ModelError`] that
+/// names the offending index. An empty input yields an empty CDF.
+pub fn try_cdf(values: &[f64]) -> Result<Vec<(f64, f64)>, ModelError> {
+    check_finite("values", values)?;
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
-    sorted
+    Ok(sorted
         .into_iter()
         .enumerate()
         .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
-        .collect()
+        .collect())
+}
+
+/// Panicking wrapper around [`try_cdf`].
+///
+/// # Panics
+///
+/// Panics with the [`ModelError`] diagnostic (naming the offending index
+/// and value) if any sample is NaN or infinite.
+pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    try_cdf(values).unwrap_or_else(|error| panic!("{error}"))
 }
 
 #[cfg(test)]
@@ -358,6 +405,43 @@ mod tests {
         assert_eq!(s.within_5pct, 0.5); // 0.02 and 0.01
         assert_eq!(s.within_10pct, 0.75); // plus 0.08
         assert!((s.mean_abs - (0.02 + 0.01 + 0.08 + 0.30) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_summary_diagnoses_the_offending_series() {
+        let nan_actual = try_error_summary(&[0.1, 0.2], &[0.1, f64::NAN]).unwrap_err();
+        assert!(matches!(
+            nan_actual,
+            ModelError::NonFiniteSample { series: "actual", index: 1, value } if value.is_nan()
+        ));
+        assert!(nan_actual.to_string().contains("'actual'"));
+        assert!(nan_actual.to_string().contains("index 1"));
+        let inf_predicted = try_error_summary(&[f64::INFINITY], &[0.1]).unwrap_err();
+        assert!(matches!(
+            inf_predicted,
+            ModelError::NonFiniteSample { series: "predicted", index: 0, .. }
+        ));
+        assert_eq!(
+            try_error_summary(&[], &[]).unwrap_err(),
+            ModelError::EmptySeries { series: "predicted" }
+        );
+        assert_eq!(
+            try_error_summary(&[1.0], &[1.0, 2.0]).unwrap_err(),
+            ModelError::MismatchedSeries { left: 1, right: 2 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "series 'actual'")]
+    fn error_summary_panic_names_the_series() {
+        let _ = error_summary(&[0.1], &[f64::NAN]);
+    }
+
+    #[test]
+    fn cdf_rejects_nan_with_index() {
+        let error = try_cdf(&[1.0, f64::NAN, 3.0]).unwrap_err();
+        assert!(matches!(error, ModelError::NonFiniteSample { series: "values", index: 1, .. }));
+        assert!(try_cdf(&[]).unwrap().is_empty());
     }
 
     #[test]

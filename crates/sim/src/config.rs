@@ -8,6 +8,14 @@
 //! All latencies are stored in nanoseconds and converted to core cycles with
 //! the platform frequency; bandwidths are bytes/second converted to a
 //! per-line service interval in cycles.
+//!
+//! Both config types expose a `validate()` returning a typed
+//! [`SimError`](crate::error::SimError) so invalid parameter combinations
+//! (non-positive bandwidths, zero-capacity caches, zero-entry buffers) are
+//! rejected at the [`Machine::try_run`](crate::engine::Machine::try_run)
+//! boundary instead of panicking deep inside the engine.
+
+use crate::error::SimError;
 
 /// Cache-line size in bytes (all modelled platforms use 64-byte lines).
 pub const LINE_BYTES: u64 = 64;
@@ -238,6 +246,43 @@ impl PlatformConfig {
     pub fn line_service_cycles(&self, bytes_per_sec: f64) -> f64 {
         LINE_BYTES as f64 * self.freq_ghz * 1e9 / bytes_per_sec
     }
+
+    /// Checks every parameter the engine divides by or sizes a structure
+    /// with, returning the first violation as a typed error. Presets always
+    /// validate; hand-built or mutated configs (what-if studies through
+    /// [`Machine::with_platform_config`](crate::engine::Machine::with_platform_config))
+    /// may not.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.freq_ghz.is_finite() && self.freq_ghz > 0.0) {
+            return Err(SimError::InvalidFrequency { value: self.freq_ghz });
+        }
+        for (level, geometry) in [("l1", &self.l1), ("l2", &self.l2), ("l3", &self.l3)] {
+            if geometry.capacity_bytes < LINE_BYTES {
+                return Err(SimError::InvalidCacheGeometry {
+                    level,
+                    reason: "capacity below one cache line",
+                });
+            }
+            if geometry.ways == 0 {
+                return Err(SimError::InvalidCacheGeometry { level, reason: "zero ways" });
+            }
+        }
+        for (buffer, entries) in [
+            ("lfb", self.lfb_entries),
+            ("superqueue", self.sq_entries),
+            ("uncore_pf", self.uncore_pf_entries),
+            ("store_buffer", self.sb_entries),
+            ("sb_drain", self.sb_drain_parallelism),
+            ("rob", self.rob_entries),
+            ("sched_window", self.sched_window),
+            ("retire_width", self.retire_width),
+        ] {
+            if entries == 0 {
+                return Err(SimError::InvalidBufferSize { buffer });
+            }
+        }
+        self.dram.validate()
+    }
 }
 
 /// The memory backends of Tables 3 and 4.
@@ -391,6 +436,31 @@ impl DeviceConfig {
             latency_spread: 0.15,
         }
     }
+
+    /// Checks the device parameters, returning the first violation as a
+    /// typed error: both bandwidths and the idle latency must be positive
+    /// and finite, and the latency spread must stay in `[0, 1)` (a spread
+    /// of 1 would allow zero-latency requests).
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (what, value) in [("read_bw", self.read_bw), ("write_bw", self.write_bw)] {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(SimError::InvalidBandwidth { device: self.kind, what, value });
+            }
+        }
+        if !(self.idle_latency_ns.is_finite() && self.idle_latency_ns > 0.0) {
+            return Err(SimError::InvalidLatency {
+                device: self.kind,
+                value: self.idle_latency_ns,
+            });
+        }
+        if !(self.latency_spread.is_finite() && (0.0..1.0).contains(&self.latency_spread)) {
+            return Err(SimError::InvalidLatencySpread {
+                device: self.kind,
+                value: self.latency_spread,
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -471,5 +541,25 @@ mod tests {
     fn display_names() {
         assert_eq!(Platform::Skx2s.to_string(), "SKX2S");
         assert_eq!(DeviceKind::CxlB.to_string(), "CXL-B");
+    }
+
+    #[test]
+    fn every_preset_validates() {
+        for platform in Platform::ALL {
+            platform.config().validate().expect("platform preset valid");
+            for kind in DeviceKind::SLOW_TIERS {
+                kind.config_for(platform).validate().expect("device preset valid");
+            }
+        }
+    }
+
+    #[test]
+    fn doctored_device_is_rejected() {
+        let mut device = DeviceConfig::ddr4_2666();
+        device.read_bw = 0.0;
+        assert!(matches!(
+            device.validate(),
+            Err(SimError::InvalidBandwidth { what: "read_bw", .. })
+        ));
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::cache::Cache;
 use crate::config::{CounterFlavor, DeviceKind, Platform, PlatformConfig, LINE_BYTES};
+use crate::error::SimError;
 use crate::inflight::{InflightBuffer, Time, WaitClass};
 use crate::mem::Device;
 use crate::op::{Op, Workload};
@@ -138,6 +139,54 @@ impl Machine {
         &self.platform
     }
 
+    /// Validates the machine configuration against `workload` without
+    /// running anything: platform/device parameters, placement vs slow
+    /// device, background utilisations, and the workload footprint. This
+    /// is the complete precondition of [`Machine::try_run`]; when it
+    /// passes, no assertion inside the engine can fire.
+    pub fn validate(&self, workload: &dyn Workload) -> Result<(), SimError> {
+        self.platform.validate()?;
+        if let Some(kind) = self.slow_kind {
+            kind.config_for(self.platform.platform).validate()?;
+        }
+        if self.placement.uses_slow_tier() && self.slow_kind.is_none() {
+            return Err(SimError::MissingSlowDevice);
+        }
+        for (tier, value) in [
+            ("fast", self.fast_background),
+            ("slow", self.slow_background),
+        ] {
+            if !(value.is_finite() && (0.0..=0.95).contains(&value)) {
+                return Err(SimError::InvalidBackgroundUtilisation { tier, value });
+            }
+        }
+        if workload.footprint_bytes() == 0 {
+            return Err(SimError::EmptyFootprint { workload: workload.name().to_string() });
+        }
+        Ok(())
+    }
+
+    /// Runs a workload to completion and reports counters and statistics,
+    /// rejecting invalid configurations with a typed [`SimError`] instead
+    /// of panicking. See [`Machine::validate`] for the checks performed.
+    pub fn try_run(&self, workload: &dyn Workload) -> Result<RunReport, SimError> {
+        self.validate(workload)?;
+        let trace = workload.trace();
+        Ok(self.run_trace_unchecked(workload, &trace))
+    }
+
+    /// Like [`Machine::try_run`], but from an explicit packed trace (see
+    /// [`Workload::trace`]) so callers holding a shared trace skip the
+    /// resolution.
+    pub fn try_run_trace(
+        &self,
+        workload: &dyn Workload,
+        trace: &OpTrace,
+    ) -> Result<RunReport, SimError> {
+        self.validate(workload)?;
+        Ok(self.run_trace_unchecked(workload, trace))
+    }
+
     /// Runs a workload to completion and reports counters and statistics.
     ///
     /// Hot-path buffers (fill slab, prefetch candidate lists, ROB history,
@@ -147,8 +196,9 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if the placement routes pages to a slow tier but no slow
-    /// device was configured.
+    /// Panics on any configuration [`Machine::try_run`] would reject —
+    /// most commonly a placement that routes pages to a slow tier with no
+    /// slow device configured.
     pub fn run(&self, workload: &dyn Workload) -> RunReport {
         let trace = workload.trace();
         self.run_trace(workload, &trace)
@@ -161,13 +211,15 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if the placement routes pages to a slow tier but no slow
-    /// device was configured.
+    /// Panics on any configuration [`Machine::try_run`] would reject.
     pub fn run_trace(&self, workload: &dyn Workload, trace: &OpTrace) -> RunReport {
-        assert!(
-            !self.placement.uses_slow_tier() || self.slow_kind.is_some(),
-            "placement needs a slow tier but none is configured"
-        );
+        if let Err(error) = self.validate(workload) {
+            panic!("invalid machine configuration: {error}");
+        }
+        self.run_trace_unchecked(workload, trace)
+    }
+
+    fn run_trace_unchecked(&self, workload: &dyn Workload, trace: &OpTrace) -> RunReport {
         SCRATCH.with(|cell| {
             let mut scratch = cell.borrow_mut();
             Engine::new(self, workload, &mut scratch).execute(workload, trace)
@@ -868,7 +920,9 @@ mod tests {
                 "pure"
             }
             fn footprint_bytes(&self) -> u64 {
-                0
+                // Declares one line even though no memory op touches it:
+                // zero-byte footprints are rejected at validation time.
+                LINE_BYTES
             }
             fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
                 Box::new(std::iter::repeat_n(Op::compute(10), 100))
@@ -998,7 +1052,7 @@ mod tests {
     }
 
     #[test]
-    fn empty_workload_yields_empty_report() {
+    fn zero_footprint_is_rejected_with_a_typed_error() {
         struct Empty;
         impl Workload for Empty {
             fn name(&self) -> &str {
@@ -1011,10 +1065,31 @@ mod tests {
                 Box::new(std::iter::empty())
             }
         }
-        let report = dram(Platform::Spr2s).run(&Empty);
-        assert_eq!(report.cycles, 0.0);
-        assert_eq!(report.instructions, 0);
-        assert!(report.counters.is_empty());
+        let error = dram(Platform::Spr2s).try_run(&Empty).unwrap_err();
+        assert_eq!(error, SimError::EmptyFootprint { workload: "empty".into() });
+        assert!(error.to_string().contains("'empty'"));
+    }
+
+    #[test]
+    fn try_run_rejects_what_run_panics_on() {
+        let m = Machine::dram_only(Platform::Spr2s).with_placement(Placement::SlowOnly);
+        let w = Memset { bytes: 64 };
+        assert_eq!(m.try_run(&w).unwrap_err(), SimError::MissingSlowDevice);
+        let m = Machine::dram_only(Platform::Spr2s).with_background(1.5, 0.0);
+        assert!(matches!(
+            m.try_run(&w).unwrap_err(),
+            SimError::InvalidBackgroundUtilisation { tier: "fast", .. }
+        ));
+    }
+
+    #[test]
+    fn try_run_matches_run_on_valid_configs() {
+        let w = Gups { lines: 1 << 12, count: 10_000 };
+        let m = Machine::slow_only(Platform::Spr2s, DeviceKind::CxlA);
+        let checked = m.try_run(&w).expect("valid config");
+        let unchecked = m.run(&w);
+        assert_eq!(checked.cycles, unchecked.cycles);
+        assert_eq!(checked.counters, unchecked.counters);
     }
 
     #[test]

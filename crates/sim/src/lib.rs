@@ -48,6 +48,7 @@
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod inflight;
 pub mod mem;
 pub mod op;
@@ -64,6 +65,7 @@ pub use config::{
     PAGE_BYTES,
 };
 pub use engine::Machine;
+pub use error::SimError;
 pub use op::{Op, Workload};
 pub use optrace::{CachedTrace, OpTrace, PackedOp, TraceCache, TraceStats};
 pub use placement::{Placement, TierId};

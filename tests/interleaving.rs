@@ -5,12 +5,17 @@
 use camp::model::interleave::{best_shot, classify, Boundness, InterleaveModel, DEFAULT_TAU};
 use camp::model::{Calibration, CampPredictor};
 use camp::sim::{DeviceKind, Machine, Platform};
+use std::sync::OnceLock;
 
 const PLATFORM: Platform = Platform::Skx2s;
 const DEVICE: DeviceKind = DeviceKind::CxlA;
 
-fn predictor() -> CampPredictor {
-    CampPredictor::new(Calibration::fit(PLATFORM, DEVICE))
+/// The fitted predictor, calibrated once per test binary and shared: three
+/// tests need it, and each fit costs a full microbenchmark sweep on both
+/// tiers.
+fn predictor() -> &'static CampPredictor {
+    static CELL: OnceLock<CampPredictor> = OnceLock::new();
+    CELL.get_or_init(|| CampPredictor::new(Calibration::fit(PLATFORM, DEVICE)))
 }
 
 #[test]
@@ -20,7 +25,7 @@ fn bandwidth_bound_stream_classifies_and_bathtubs() {
     let dram = Machine::dram_only(PLATFORM).run(&workload);
     assert_eq!(classify(&dram, DEFAULT_TAU), Boundness::BandwidthBound);
 
-    let model = InterleaveModel::profile(PLATFORM, DEVICE, &workload, &predictor, DEFAULT_TAU);
+    let model = InterleaveModel::profile(PLATFORM, DEVICE, &workload, predictor, DEFAULT_TAU);
     assert_eq!(model.profiling_runs, 2);
     let choice = best_shot(&model);
     assert!(
@@ -47,7 +52,7 @@ fn latency_bound_chase_classifies_and_stays_on_dram() {
     let dram = Machine::dram_only(PLATFORM).run(&workload);
     assert_eq!(classify(&dram, DEFAULT_TAU), Boundness::LatencyBound);
 
-    let model = InterleaveModel::profile(PLATFORM, DEVICE, &workload, &predictor, DEFAULT_TAU);
+    let model = InterleaveModel::profile(PLATFORM, DEVICE, &workload, predictor, DEFAULT_TAU);
     assert_eq!(model.profiling_runs, 1, "latency-bound path needs one run");
     let choice = best_shot(&model);
     assert_eq!(choice.ratio, 1.0, "nothing to gain from the slow tier");
@@ -62,7 +67,7 @@ fn latency_bound_chase_classifies_and_stays_on_dram() {
 fn synthesized_curve_tracks_measurement() {
     let predictor = predictor();
     let workload = camp::workloads::find("spec.654.roms-8t").expect("in suite");
-    let model = InterleaveModel::profile(PLATFORM, DEVICE, &workload, &predictor, DEFAULT_TAU);
+    let model = InterleaveModel::profile(PLATFORM, DEVICE, &workload, predictor, DEFAULT_TAU);
     let baseline = Machine::dram_only(PLATFORM).run(&workload);
     let mut max_err = 0.0f64;
     for i in 0..=5 {

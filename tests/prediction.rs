@@ -2,9 +2,16 @@
 //! of the suite from DRAM-only runs, and hold the accuracy to thresholds
 //! mirroring Table 6 (relaxed, since the sample is a fraction of the
 //! suite and the substrate is a simulator).
+//!
+//! The expensive inputs — the sample's (DRAM, slow) endpoint runs and the
+//! fitted calibrations — are computed once per test binary and shared
+//! through `OnceLock`s: the tests here overlap heavily in what they
+//! simulate (two tests consume the SKX/NUMA pairs, two the SPR DRAM
+//! runs), and without sharing each test re-simulated its full input set.
 
 use camp::model::{stats, Calibration, CampPredictor, MeasuredComponents};
-use camp::sim::{DeviceKind, Machine, Platform, Workload};
+use camp::sim::{DeviceKind, Machine, Platform, RunReport, Workload};
+use std::sync::OnceLock;
 
 /// Every 8th suite workload: 34 of 265, spanning all families.
 fn sample() -> Vec<Box<dyn Workload>> {
@@ -16,28 +23,60 @@ fn sample() -> Vec<Box<dyn Workload>> {
         .collect()
 }
 
+/// (DRAM, slow) endpoint runs of the whole sample. First caller simulates,
+/// concurrent tests block on the cell and share the result.
+fn endpoint_runs(
+    cell: &'static OnceLock<Vec<(RunReport, RunReport)>>,
+    platform: Platform,
+    device: DeviceKind,
+) -> &'static [(RunReport, RunReport)] {
+    cell.get_or_init(|| {
+        let dram_machine = Machine::dram_only(platform);
+        let slow_machine = Machine::slow_only(platform, device);
+        sample()
+            .iter()
+            .map(|w| (dram_machine.run(w.as_ref()), slow_machine.run(w.as_ref())))
+            .collect()
+    })
+}
+
+fn skx_numa_runs() -> &'static [(RunReport, RunReport)] {
+    static CELL: OnceLock<Vec<(RunReport, RunReport)>> = OnceLock::new();
+    endpoint_runs(&CELL, Platform::Skx2s, DeviceKind::Numa)
+}
+
+fn spr_cxl_runs() -> &'static [(RunReport, RunReport)] {
+    static CELL: OnceLock<Vec<(RunReport, RunReport)>> = OnceLock::new();
+    endpoint_runs(&CELL, Platform::Spr2s, DeviceKind::CxlA)
+}
+
+fn skx_numa_predictor() -> &'static CampPredictor {
+    static CELL: OnceLock<CampPredictor> = OnceLock::new();
+    CELL.get_or_init(|| CampPredictor::new(Calibration::fit(Platform::Skx2s, DeviceKind::Numa)))
+}
+
+fn spr_cxl_predictor() -> &'static CampPredictor {
+    static CELL: OnceLock<CampPredictor> = OnceLock::new();
+    CELL.get_or_init(|| CampPredictor::new(Calibration::fit(Platform::Spr2s, DeviceKind::CxlA)))
+}
+
 struct Evaluation {
     predicted: Vec<f64>,
     actual: Vec<f64>,
 }
 
-fn evaluate(platform: Platform, device: DeviceKind) -> Evaluation {
-    let predictor = CampPredictor::new(Calibration::fit(platform, device));
-    let dram_machine = Machine::dram_only(platform);
-    let slow_machine = Machine::slow_only(platform, device);
+fn evaluate(runs: &[(RunReport, RunReport)], predictor: &CampPredictor) -> Evaluation {
     let (mut predicted, mut actual) = (Vec::new(), Vec::new());
-    for workload in sample() {
-        let dram = dram_machine.run(&workload);
-        let slow = slow_machine.run(&workload);
-        predicted.push(predictor.predict_total_saturated(&dram));
-        actual.push(MeasuredComponents::attribute(&dram, &slow).total);
+    for (dram, slow) in runs {
+        predicted.push(predictor.predict_total_saturated(dram));
+        actual.push(MeasuredComponents::attribute(dram, slow).total);
     }
     Evaluation { predicted, actual }
 }
 
 #[test]
 fn cxl_a_prediction_correlates_strongly() {
-    let eval = evaluate(Platform::Spr2s, DeviceKind::CxlA);
+    let eval = evaluate(spr_cxl_runs(), spr_cxl_predictor());
     let pearson = stats::pearson(&eval.predicted, &eval.actual).expect("variance present");
     assert!(pearson > 0.9, "CXL-A pearson {pearson}");
     let errors = stats::error_summary(&eval.predicted, &eval.actual);
@@ -48,7 +87,7 @@ fn cxl_a_prediction_correlates_strongly() {
 
 #[test]
 fn numa_prediction_correlates_strongly() {
-    let eval = evaluate(Platform::Skx2s, DeviceKind::Numa);
+    let eval = evaluate(skx_numa_runs(), skx_numa_predictor());
     let pearson = stats::pearson(&eval.predicted, &eval.actual).expect("variance present");
     // The gate is looser than CXL-A's: NUMA's smaller latency gap leaves
     // prefetch-coverage cliffs (streams with no DRAM-visible cache stalls
@@ -62,21 +101,15 @@ fn numa_prediction_correlates_strongly() {
 #[test]
 fn camp_outperforms_every_baseline_metric() {
     use camp::model::BaselineMetric;
-    let platform = Platform::Skx2s;
-    let device = DeviceKind::Numa;
-    let predictor = CampPredictor::new(Calibration::fit(platform, device));
-    let dram_machine = Machine::dram_only(platform);
-    let slow_machine = Machine::slow_only(platform, device);
+    let predictor = skx_numa_predictor();
     let mut metric_values: Vec<Vec<f64>> = vec![Vec::new(); BaselineMetric::ALL.len()];
     let (mut camp_values, mut actual) = (Vec::new(), Vec::new());
-    for workload in sample() {
-        let dram = dram_machine.run(&workload);
-        let slow = slow_machine.run(&workload);
+    for (dram, slow) in skx_numa_runs() {
         for (i, metric) in BaselineMetric::ALL.iter().enumerate() {
-            metric_values[i].push(metric.value(&dram));
+            metric_values[i].push(metric.value(dram));
         }
-        camp_values.push(predictor.predict_total_saturated(&dram));
-        actual.push(slow.slowdown_vs(&dram));
+        camp_values.push(predictor.predict_total_saturated(dram));
+        actual.push(slow.slowdown_vs(dram));
     }
     let camp_r = stats::pearson(&camp_values, &actual).expect("variance").abs();
     for (i, metric) in BaselineMetric::ALL.iter().enumerate() {
@@ -89,7 +122,7 @@ fn camp_outperforms_every_baseline_metric() {
 fn predictions_are_finite_for_every_suite_workload() {
     // Cheap whole-suite smoke: the predictor must never return NaN or
     // infinity, whatever the counter mix. Uses a synthetic calibration to
-    // avoid the fitting cost.
+    // avoid the fitting cost, and the shared SPR DRAM endpoint runs.
     let calibration = Calibration::fit_with(
         Platform::Spr2s,
         DeviceKind::CxlA,
@@ -111,16 +144,14 @@ fn predictions_are_finite_for_every_suite_workload() {
         ],
     );
     let predictor = CampPredictor::new(calibration);
-    let machine = Machine::dram_only(Platform::Spr2s);
-    for workload in sample() {
-        let report = machine.run(&workload);
-        let prediction = predictor.predict_report(&report);
+    for (report, _) in spr_cxl_runs() {
+        let prediction = predictor.predict_report(report);
         assert!(
             prediction.total().is_finite() && prediction.total() >= 0.0,
             "{}: prediction {:?}",
-            workload.name(),
+            report.workload,
             prediction
         );
-        assert!(predictor.predict_total_saturated(&report).is_finite());
+        assert!(predictor.predict_total_saturated(report).is_finite());
     }
 }
