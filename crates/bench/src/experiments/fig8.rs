@@ -5,6 +5,7 @@
 //! compared against the measured slowdown of the matching instruction
 //! range on the CXL run.
 
+use crate::explain::{cumulative, cycles_at};
 use crate::harness::{fmt, Context, Table};
 use camp_core::stats;
 use camp_pmu::Event;
@@ -13,36 +14,6 @@ use camp_sim::{DeviceKind, Machine, Op, Platform, Workload};
 const PLATFORM: Platform = Platform::Spr2s;
 const DEVICE: DeviceKind = DeviceKind::CxlA;
 const EPOCH_CYCLES: u64 = 200_000;
-
-/// Cumulative (instructions, cycles) curve from a sampled run.
-fn cumulative(epochs: &[camp_pmu::Epoch]) -> Vec<(f64, f64)> {
-    let mut points = vec![(0.0, 0.0)];
-    let (mut instructions, mut cycles) = (0.0, 0.0);
-    for epoch in epochs {
-        instructions += epoch.counters.get_f64(Event::Instructions);
-        cycles += epoch.cycles() as f64;
-        points.push((instructions, cycles));
-    }
-    points
-}
-
-/// Cycles consumed up to `instructions` on a cumulative curve (linear
-/// interpolation).
-fn cycles_at(curve: &[(f64, f64)], instructions: f64) -> f64 {
-    match curve.iter().position(|&(i, _)| i >= instructions) {
-        Some(0) => 0.0,
-        Some(idx) => {
-            let (i0, c0) = curve[idx - 1];
-            let (i1, c1) = curve[idx];
-            if i1 > i0 {
-                c0 + (c1 - c0) * (instructions - i0) / (i1 - i0)
-            } else {
-                c0
-            }
-        }
-        None => curve.last().map(|&(_, c)| c).unwrap_or(0.0),
-    }
-}
 
 /// A composite workload with four distinct phases (chase → compute-heavy
 /// → random gather → stream), giving the per-epoch predictor large

@@ -11,6 +11,7 @@
 
 use crate::par;
 use camp_core::{Calibration, CampPredictor};
+use camp_obs::Recorder;
 use camp_sim::{DeviceKind, Machine, Platform, RunReport, TraceCache, Workload};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -35,7 +36,9 @@ pub struct Context {
     runs: [Mutex<HashMap<RunKey, Cell<RunReport>>>; RUN_SHARDS],
     calibrations: Mutex<HashMap<(Platform, DeviceKind), Cell<Calibration>>>,
     traces: TraceCache,
+    obs: Recorder,
     executed: AtomicUsize,
+    requested: AtomicUsize,
     jobs: usize,
 }
 
@@ -45,7 +48,9 @@ impl Default for Context {
             runs: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             calibrations: Mutex::new(HashMap::new()),
             traces: TraceCache::new(),
+            obs: Recorder::new(),
             executed: AtomicUsize::new(0),
+            requested: AtomicUsize::new(0),
             jobs: par::default_jobs(),
         }
     }
@@ -106,10 +111,20 @@ impl Context {
         device: Option<DeviceKind>,
         workload: &dyn Workload,
     ) -> Arc<RunReport> {
+        self.requested.fetch_add(1, Ordering::Relaxed);
         let key = (platform, device, workload.name().to_string());
         let cell = self.run_cell(&key);
         Arc::clone(cell.get_or_init(|| {
             self.executed.fetch_add(1, Ordering::Relaxed);
+            let device_label = match device {
+                None => "dram-only".to_string(),
+                Some(kind) => kind.to_string(),
+            };
+            // Run spans are rooted, not nested: under a parallel sweep the
+            // single-flight winner is scheduling-dependent, and the span
+            // tree must not be.
+            let span_name = format!("{platform}/{device_label}/{}", workload.name());
+            let mut span = self.obs.scope_rooted("run", span_name.clone());
             let machine = match device {
                 None => Machine::dram_only(platform),
                 Some(kind) => Machine::slow_only(platform, kind),
@@ -120,14 +135,17 @@ impl Context {
             let attempt =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| machine.run(&traced)));
             match attempt {
-                Ok(report) => Arc::new(report),
+                Ok(report) => {
+                    span.attr("cycles", report.cycles);
+                    span.attr("instructions", report.instructions);
+                    span.attr("seconds", report.seconds);
+                    self.note_report_anomalies(&span_name, &report);
+                    Arc::new(report)
+                }
                 Err(payload) => {
-                    let device = match device {
-                        None => "dram-only".to_string(),
-                        Some(kind) => kind.to_string(),
-                    };
+                    span.attr("ok", false);
                     panic!(
-                        "endpoint run failed (platform {platform}, device {device}, \
+                        "endpoint run failed (platform {platform}, device {device_label}, \
                          workload '{}'): {}",
                         workload.name(),
                         crate::panic_detail(payload.as_ref())
@@ -135,6 +153,27 @@ impl Context {
                 }
             }
         }))
+    }
+
+    /// Flags degenerate reports on the span layer. A non-positive duration
+    /// makes rate-style metrics ([`camp_sim::TierReport::read_bandwidth`],
+    /// IPC-per-second) silently collapse to zero, so instead of letting
+    /// that propagate quietly the report is surfaced in the manifest as an
+    /// `anomaly` event parented under the run's span.
+    fn note_report_anomalies(&self, run: &str, report: &RunReport) {
+        if report.seconds > 0.0 {
+            return;
+        }
+        self.obs.event(
+            "anomaly",
+            "degenerate-duration",
+            vec![
+                ("run", run.into()),
+                ("seconds", report.seconds.into()),
+                ("cycles", report.cycles.into()),
+                ("detail", "rate metrics (bandwidth, op/s) degenerate to 0".into()),
+            ],
+        );
     }
 
     /// The shared op-trace cache. Experiments that execute workloads
@@ -184,10 +223,15 @@ impl Context {
             let mut map = self.calibrations.lock().unwrap_or_else(|poison| poison.into_inner());
             Arc::clone(map.entry((platform, device)).or_default())
         };
-        Arc::clone(cell.get_or_init(|| match Calibration::try_fit(platform, device) {
-            Ok(calibration) => Arc::new(calibration),
-            Err(error) => {
-                panic!("calibration failed (platform {platform}, device {device}): {error}")
+        Arc::clone(cell.get_or_init(|| {
+            // Rooted for the same reason as run spans: the single-flight
+            // winner must not decide the span's place in the tree.
+            let _span = self.obs.scope_rooted("calibration", format!("{platform}/{device}"));
+            match Calibration::try_fit(platform, device) {
+                Ok(calibration) => Arc::new(calibration),
+                Err(error) => {
+                    panic!("calibration failed (platform {platform}, device {device}): {error}")
+                }
             }
         }))
     }
@@ -200,6 +244,24 @@ impl Context {
     /// Number of simulation runs executed (not merely recalled) so far.
     pub fn runs_executed(&self) -> usize {
         self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Number of [`Context::run`] requests so far (executions plus cache
+    /// hits).
+    pub fn runs_requested(&self) -> usize {
+        self.requested.load(Ordering::Relaxed)
+    }
+
+    /// Number of run requests served from the memo cache.
+    pub fn cache_hits(&self) -> usize {
+        self.runs_requested().saturating_sub(self.runs_executed())
+    }
+
+    /// The span recorder every experiment, run, and calibration reports
+    /// into. The `repro` driver renders it as a run manifest and Chrome
+    /// trace after a sweep.
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 }
 
@@ -377,6 +439,60 @@ mod tests {
             ctx.run(Platform::Spr2s, Some(DeviceKind::CxlA), &Broken)
         }));
         assert!(retry.is_err(), "retry of the broken key fails loudly again");
+    }
+
+    #[test]
+    fn runs_record_rooted_spans_and_cache_hit_counters() {
+        let ctx = Context::new();
+        let w = PointerChase::new("ctx-obs-chase", 1, 1 << 14, 1, 5_000);
+        let _outer = ctx.recorder().scope("experiment", "outer");
+        let _ = ctx.run(Platform::Skx2s, None, &w);
+        let _ = ctx.run(Platform::Skx2s, None, &w); // cache hit: no new span
+        assert_eq!(ctx.runs_requested(), 2);
+        assert_eq!(ctx.runs_executed(), 1);
+        assert_eq!(ctx.cache_hits(), 1);
+        let records = ctx.recorder().records();
+        let run = records
+            .iter()
+            .find(|r| r.category == "run")
+            .expect("executed run records a span");
+        assert_eq!(run.name, "SKX2S/dram-only/ctx-obs-chase");
+        assert_eq!(run.parent, None, "run spans are rooted, not nested");
+        assert_eq!(records.iter().filter(|r| r.category == "run").count(), 1);
+    }
+
+    #[test]
+    fn degenerate_duration_reports_are_flagged_as_anomalies() {
+        use camp_pmu::CounterSet;
+        use camp_sim::report::TierReport;
+        let ctx = Context::new();
+        let mut report = RunReport {
+            workload: "empty".into(),
+            platform: Platform::Spr2s,
+            threads: 1,
+            counters: CounterSet::new(),
+            cycles: 0.0,
+            instructions: 0,
+            seconds: 0.0,
+            fast_tier: TierReport {
+                device: DeviceKind::LocalDram,
+                stats: Default::default(),
+                idle_latency_cycles: 239.4,
+            },
+            slow_tier: None,
+            epochs: Vec::new(),
+            tape: None,
+        };
+        ctx.note_report_anomalies("spr2s/dram-only/empty", &report);
+        let records = ctx.recorder().records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].category, "anomaly");
+        assert_eq!(records[0].name, "degenerate-duration");
+        assert!(records[0].is_event);
+        // A healthy report is not flagged.
+        report.seconds = 1.0;
+        ctx.note_report_anomalies("spr2s/dram-only/empty", &report);
+        assert_eq!(ctx.recorder().len(), 1);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 pub mod experiments;
+pub mod explain;
 pub mod harness;
 pub mod par;
 
@@ -96,9 +97,13 @@ pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
 /// Runs one experiment by id, printing tables to `out` and archiving TSVs
 /// under `results_dir` (if provided).
 ///
-/// Everything written to `out` is deterministic — per-experiment timing
-/// goes to stderr — so the stream is byte-identical whether experiments
-/// run serially or are buffered by a parallel driver (`repro --jobs`).
+/// Everything written to `out` is deterministic, so the stream is
+/// byte-identical whether experiments run serially or are buffered by a
+/// parallel driver (`repro --jobs`). The experiment's wall-clock is not
+/// printed here — it is recorded as an `experiment` span on the context's
+/// [`Context::recorder`]; the `repro` driver reports timings after the
+/// sweep, in input order, so concurrent experiments cannot interleave
+/// them on stderr.
 ///
 /// Failures are isolated: a panic inside the experiment (an invalid
 /// machine configuration, a degenerate model fit) is caught here and
@@ -114,8 +119,25 @@ pub fn run_experiment(
     let Some(experiment) = experiments::find(id) else {
         return Err(ExperimentError::UnknownId { id: id.to_string() });
     };
+    let mut span = ctx.recorder().scope("experiment", experiment.id);
+    let result = run_found(&experiment, ctx, out, results_dir);
+    span.attr("ok", result.is_ok());
+    if let Ok(tables) = &result {
+        span.attr("tables", *tables);
+    }
+    result.map(|_| ())
+}
+
+/// The experiment body proper (everything the `experiment` span covers);
+/// returns the number of tables rendered.
+fn run_found(
+    experiment: &experiments::Experiment,
+    ctx: &Context,
+    out: &mut dyn Write,
+    results_dir: Option<&Path>,
+) -> Result<usize, ExperimentError> {
+    let id = experiment.id;
     let io = |error| ExperimentError::Io { id: id.to_string(), error };
-    let start = std::time::Instant::now();
     writeln!(out, "# {} — {}", experiment.id, experiment.description).map_err(io)?;
     let tables = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (experiment.run)(ctx)))
         .map_err(|payload| ExperimentError::Failed {
@@ -130,8 +152,7 @@ pub fn run_experiment(
             std::fs::write(path, table.to_tsv()).map_err(io)?;
         }
     }
-    eprintln!("[{} finished in {:.1}s]", experiment.id, start.elapsed().as_secs_f64());
-    Ok(())
+    Ok(tables.len())
 }
 
 #[cfg(test)]

@@ -1,0 +1,126 @@
+//! Integration tests for the observability outputs of the `repro` binary:
+//! the JSON-lines run manifest, the Chrome trace, and the deterministic
+//! post-sweep timing lines. Driven through `CARGO_BIN_EXE_repro` against
+//! the static (simulation-free) tables so the tests stay cheap in the
+//! debug profile.
+
+use camp_obs::json::{self, Json};
+use camp_obs::{chrome, manifest};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+/// A scratch path unique to this test process.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("camp-obs-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+#[test]
+fn sweep_emits_a_valid_manifest_and_trace() {
+    let manifest_path = scratch("sweep.jsonl");
+    let trace_path = scratch("sweep-trace.json");
+    let output = repro(&[
+        "table3",
+        "table4",
+        "table5",
+        "--no-archive",
+        "--jobs",
+        "2",
+        "--manifest-out",
+        manifest_path.to_str().unwrap(),
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+
+    let text = std::fs::read_to_string(&manifest_path).expect("manifest written");
+    let summary = manifest::validate(&text).expect("manifest validates");
+    // 1 sweep span + 3 experiment spans (the static tables run nothing).
+    assert_eq!(summary.spans, 4);
+    assert_eq!(summary.anomalies, 0);
+    // Experiments are parented under the sweep (id 1 after renumbering).
+    let lines: Vec<&str> = text.lines().collect();
+    let sweep = json::parse(lines[1]).unwrap();
+    assert_eq!(sweep.get("cat").and_then(Json::as_str), Some("sweep"));
+    let experiment = json::parse(lines[2]).unwrap();
+    assert_eq!(experiment.get("cat").and_then(Json::as_str), Some("experiment"));
+    assert_eq!(experiment.get("parent").and_then(Json::as_u64), Some(1));
+
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    let events = chrome::validate(&trace).expect("trace validates");
+    assert!(events >= 4, "sweep + 3 experiments, got {events}");
+}
+
+#[test]
+fn manifests_agree_across_job_counts_modulo_timing() {
+    let m1 = scratch("jobs1.jsonl");
+    let m4 = scratch("jobs4.jsonl");
+    let ids = ["table5", "table3", "table4"];
+    let mut stdouts = Vec::new();
+    for (jobs, path) in [("1", &m1), ("4", &m4)] {
+        let output = repro(&[
+            ids[0],
+            ids[1],
+            ids[2],
+            "--no-archive",
+            "--jobs",
+            jobs,
+            "--manifest-out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(output.status.success());
+        stdouts.push(output.stdout);
+    }
+    assert_eq!(stdouts[0], stdouts[1], "stdout is byte-identical across job counts");
+    let masked1 = manifest::masked_lines(&std::fs::read_to_string(&m1).unwrap()).unwrap();
+    let masked4 = manifest::masked_lines(&std::fs::read_to_string(&m4).unwrap()).unwrap();
+    assert_eq!(masked1, masked4, "manifests differ only in timing fields");
+}
+
+#[test]
+fn timing_lines_are_ordered_and_attributed_after_the_sweep() {
+    // Request experiments in non-registry order with a parallel sweep; the
+    // timing lines must come out in input order regardless of scheduling.
+    let output = repro(&["table5", "table3", "--no-archive", "--jobs", "2"]);
+    assert!(output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let t5 = stderr.find("[table5 finished in").expect("table5 timing line");
+    let t3 = stderr.find("[table3 finished in").expect("table3 timing line");
+    assert!(t5 < t3, "timing lines follow input order, not completion order: {stderr}");
+}
+
+#[test]
+fn manifest_out_flag_refuses_to_consume_a_following_flag() {
+    for args in [
+        &["--manifest-out", "--jobs", "2", "table5"][..],
+        &["table5", "--manifest-out"],
+        &["--trace-out", "--no-archive", "table5"],
+        &["table5", "--trace-out"],
+    ] {
+        let output = repro(args);
+        assert!(!output.status.success(), "args {args:?} must be rejected");
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("requires a file path"),
+            "args {args:?}"
+        );
+    }
+}
+
+#[test]
+fn explain_rejects_unknown_workloads_and_empty_invocations() {
+    let output = repro(&["explain"]);
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("at least one workload"));
+
+    let output = repro(&["explain", "no.such.workload"]);
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("no.such.workload"));
+}

@@ -128,6 +128,7 @@ mod tests {
             },
             slow_tier: None,
             epochs: Vec::new(),
+            tape: None,
         };
         for metric in BaselineMetric::ALL {
             assert!(metric.value(&report).is_finite(), "{}", metric.name());

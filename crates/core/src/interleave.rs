@@ -591,6 +591,7 @@ mod tests {
             },
             slow_tier: None,
             epochs: Vec::new(),
+            tape: None,
         }
     }
 

@@ -1,0 +1,80 @@
+//! `obs-check`: tiny in-tree validator for emitted observability
+//! artifacts, used by CI's repro smoke step (and handy interactively).
+//!
+//! ```text
+//! obs-check --manifest camp-out/manifest.jsonl --trace camp-out/trace.json
+//! ```
+//!
+//! Exits non-zero with a diagnostic if any named artifact fails
+//! validation; prints a one-line summary per artifact otherwise.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut manifests: Vec<String> = Vec::new();
+    let mut traces: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--manifest" => match iter.next() {
+                Some(path) => manifests.push(path.clone()),
+                None => return usage("--manifest requires a path"),
+            },
+            "--trace" => match iter.next() {
+                Some(path) => traces.push(path.clone()),
+                None => return usage("--trace requires a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: obs-check [--manifest FILE]... [--trace FILE]...");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if manifests.is_empty() && traces.is_empty() {
+        return usage("nothing to check");
+    }
+
+    let mut failed = false;
+    for path in &manifests {
+        match read(path).and_then(|text| {
+            camp_obs::manifest::validate(&text).map_err(|e| format!("{path}: {e}"))
+        }) {
+            Ok(summary) => println!(
+                "manifest {path}: ok ({} spans, {} events, {} anomalies)",
+                summary.spans, summary.events, summary.anomalies
+            ),
+            Err(message) => {
+                eprintln!("obs-check: {message}");
+                failed = true;
+            }
+        }
+    }
+    for path in &traces {
+        match read(path)
+            .and_then(|text| camp_obs::chrome::validate(&text).map_err(|e| format!("{path}: {e}")))
+        {
+            Ok(count) => println!("trace {path}: ok ({count} events)"),
+            Err(message) => {
+                eprintln!("obs-check: {message}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("obs-check: {message}");
+    eprintln!("usage: obs-check [--manifest FILE]... [--trace FILE]...");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,152 @@
+//! Chrome trace-event exporter.
+//!
+//! Serialises a [`Recorder`]'s spans in the Trace Event Format that
+//! `chrome://tracing` and Perfetto load directly: complete (`"X"`) events
+//! for spans, instant (`"i"`) events for markers, timestamps in
+//! microseconds, one `tid` per harness thread. The goal is visual
+//! inspection of a parallel sweep — scheduling gaps, stragglers, cache
+//! hits vs real simulation runs.
+
+use crate::json::{self, Json};
+use crate::span::{AttrValue, Recorder};
+
+/// Fixed process id under which all harness threads are shown.
+const PID: u64 = 1;
+
+/// Renders the complete trace JSON document (`{"traceEvents": [...]}`).
+pub fn render(recorder: &Recorder) -> String {
+    let mut events: Vec<Json> = Vec::new();
+    let mut threads: Vec<u64> = Vec::new();
+    for record in recorder.records() {
+        if !threads.contains(&record.thread) {
+            threads.push(record.thread);
+        }
+        let args = Json::Obj(
+            std::iter::once(("cat".to_string(), Json::from(record.category)))
+                .chain(
+                    record
+                        .attrs
+                        .iter()
+                        .map(|(k, v): &(&str, AttrValue)| (k.to_string(), v.to_json())),
+                )
+                .collect(),
+        );
+        let mut members = vec![
+            ("name", Json::from(record.name.as_str())),
+            ("cat", Json::from(record.category)),
+            ("ph", Json::from(if record.is_event { "i" } else { "X" })),
+            ("ts", Json::from(record.start_us)),
+        ];
+        if record.is_event {
+            // Instant events carry a scope instead of a duration.
+            members.push(("s", Json::from("t")));
+        } else {
+            members.push(("dur", Json::from(record.dur_us)));
+        }
+        members.push(("pid", Json::from(PID)));
+        members.push(("tid", Json::from(record.thread)));
+        members.push(("args", args));
+        events.push(Json::obj(members));
+    }
+    // Label threads so the trace viewer shows "harness-N" lanes.
+    threads.sort_unstable();
+    for tid in threads {
+        events.push(Json::obj(vec![
+            ("name", Json::from("thread_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(PID)),
+            ("tid", Json::from(tid)),
+            ("args", Json::obj(vec![("name", Json::from(format!("harness-{tid}")))])),
+        ]));
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::from("ms")),
+    ])
+    .render()
+}
+
+/// Validates a trace document: parses, has a `traceEvents` array, and
+/// every entry carries the members its phase requires. Returns the number
+/// of non-metadata events.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut count = 0;
+    for (index, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {index}: missing ph"))?;
+        for key in ["pid", "tid"] {
+            if event.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("event {index}: missing integral {key}"));
+            }
+        }
+        if event.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("event {index}: missing name"));
+        }
+        match ph {
+            "X" => {
+                for key in ["ts", "dur"] {
+                    if event.get(key).and_then(Json::as_u64).is_none() {
+                        return Err(format!("event {index}: complete event missing {key}"));
+                    }
+                }
+                count += 1;
+            }
+            "i" => {
+                if event.get("ts").and_then(Json::as_u64).is_none() {
+                    return Err(format!("event {index}: instant event missing ts"));
+                }
+                count += 1;
+            }
+            "M" => {}
+            other => return Err(format!("event {index}: unsupported phase {other:?}")),
+        }
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_a_valid_trace_with_thread_metadata() {
+        let recorder = Recorder::new();
+        {
+            let mut span = recorder.scope("experiment", "table1");
+            span.attr("runs", 3u64);
+            recorder.event("anomaly", "marker", vec![]);
+        }
+        let text = render(&recorder);
+        assert_eq!(validate(&text).expect("trace validates"), 2);
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 1 span + 1 instant + 1 thread_name metadata record.
+        assert_eq!(events.len(), 3);
+        let span = &events[1];
+        assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(span.get("args").and_then(|a| a.get("runs")).and_then(Json::as_u64), Some(3));
+        let meta = &events[2];
+        assert_eq!(meta.get("ph").and_then(Json::as_str), Some("M"));
+        assert_eq!(
+            meta.get("args").and_then(|a| a.get("name")).and_then(Json::as_str),
+            Some("harness-1")
+        );
+    }
+
+    #[test]
+    fn validate_rejects_malformed_traces() {
+        assert!(validate("{}").unwrap_err().contains("traceEvents"));
+        assert!(validate("[1,2]").is_err());
+        let no_dur = r#"{"traceEvents":[{"name":"x","ph":"X","ts":1,"pid":1,"tid":1}]}"#;
+        assert!(validate(no_dur).unwrap_err().contains("missing dur"));
+        let bad_ph = r#"{"traceEvents":[{"name":"x","ph":"Q","ts":1,"pid":1,"tid":1}]}"#;
+        assert!(validate(bad_ph).unwrap_err().contains("unsupported phase"));
+    }
+}

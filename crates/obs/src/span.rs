@@ -1,0 +1,428 @@
+//! Structured spans: the harness-side half of the observability layer.
+//!
+//! A [`Recorder`] collects [`SpanRecord`]s from any number of threads; the
+//! manifest and Chrome-trace exporters consume the finished record set.
+//! Spans are RAII guards ([`SpanScope`]) that parent themselves under the
+//! thread's current span, so an experiment's inner calibration span nests
+//! without explicit plumbing; cross-thread fan-outs propagate the parent
+//! with [`Recorder::with_parent`].
+
+use crate::json::Json;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A typed attribute value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Converts to a JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            AttrValue::U64(n) => Json::Num(*n as f64),
+            AttrValue::I64(n) => Json::Num(*n as f64),
+            AttrValue::F64(n) => Json::Num(*n),
+            AttrValue::Str(s) => Json::Str(s.clone()),
+            AttrValue::Bool(b) => Json::Bool(*b),
+        }
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(n: u64) -> Self {
+        AttrValue::U64(n)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(n: usize) -> Self {
+        AttrValue::U64(n as u64)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(n: i64) -> Self {
+        AttrValue::I64(n)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(n: f64) -> Self {
+        AttrValue::F64(n)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> Self {
+        AttrValue::Bool(b)
+    }
+}
+
+/// One finished span or instantaneous event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Recorder-unique id (creation order; manifests renumber
+    /// deterministically).
+    pub id: u64,
+    /// Parent span id, if any.
+    pub parent: Option<u64>,
+    /// Span taxonomy category (`"experiment"`, `"run"`, `"calibration"`,
+    /// `"sweep"`, `"anomaly"`, ...).
+    pub category: &'static str,
+    /// Human-readable name (experiment id, `platform/device/workload`, ...).
+    pub name: String,
+    /// Recorder-local index of the OS thread the span ran on.
+    pub thread: u64,
+    /// Start time in microseconds since the recorder was created.
+    pub start_us: u64,
+    /// Duration in microseconds (zero for instantaneous events).
+    pub dur_us: u64,
+    /// True for instantaneous events ([`Recorder::event`]).
+    pub is_event: bool,
+    /// Attached attributes, in insertion order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// Monotonic source of recorder instance ids (so thread-local span state
+/// from one recorder can never leak into another).
+static RECORDER_IDS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(recorder instance, span id)` of the thread's current span
+    /// (0 = none).
+    static CURRENT_SPAN: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+    /// `(recorder instance, thread index)` assigned lazily per thread.
+    static THREAD_INDEX: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// A thread-safe span collector.
+///
+/// # Example
+///
+/// ```
+/// use camp_obs::Recorder;
+///
+/// let recorder = Recorder::new();
+/// {
+///     let mut outer = recorder.scope("experiment", "table1");
+///     outer.attr("tables", 2u64);
+///     let _inner = recorder.scope("run", "spr2s/dram-only/stream");
+/// }
+/// let records = recorder.records();
+/// assert_eq!(records.len(), 2);
+/// // The inner run span finished first and is parented under table1.
+/// assert_eq!(records[0].category, "run");
+/// assert_eq!(records[0].parent, Some(records[1].id));
+/// ```
+#[derive(Debug)]
+pub struct Recorder {
+    instance: u64,
+    epoch: Instant,
+    records: Mutex<Vec<SpanRecord>>,
+    next_span: AtomicU64,
+    next_thread: AtomicU64,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder {
+            instance: RECORDER_IDS.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            records: Mutex::new(Vec::new()),
+            next_span: AtomicU64::new(1),
+            next_thread: AtomicU64::new(1),
+        }
+    }
+}
+
+impl Recorder {
+    /// Creates an empty recorder; its creation instant is timestamp zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn thread_index(&self) -> u64 {
+        THREAD_INDEX.with(|cell| {
+            let (instance, index) = cell.get();
+            if instance == self.instance {
+                return index;
+            }
+            let index = self.next_thread.fetch_add(1, Ordering::Relaxed);
+            cell.set((self.instance, index));
+            index
+        })
+    }
+
+    /// The id of the calling thread's current open span, if any.
+    pub fn current(&self) -> Option<u64> {
+        CURRENT_SPAN.with(|cell| {
+            let (instance, id) = cell.get();
+            (instance == self.instance && id != 0).then_some(id)
+        })
+    }
+
+    /// Runs `f` with the thread's current span forced to `parent` — the
+    /// hand-off used when fanning work out to worker threads that should
+    /// parent their spans under the caller's span.
+    pub fn with_parent<R>(&self, parent: Option<u64>, f: impl FnOnce() -> R) -> R {
+        CURRENT_SPAN.with(|cell| {
+            let previous = cell.get();
+            cell.set((self.instance, parent.unwrap_or(0)));
+            let result = f();
+            cell.set(previous);
+            result
+        })
+    }
+
+    /// Opens a span parented under the thread's current span. The returned
+    /// guard records the span when dropped (or via [`SpanScope::end`]).
+    pub fn scope(&self, category: &'static str, name: impl Into<String>) -> SpanScope<'_> {
+        let parent = self.current();
+        self.scope_with_parent(category, name, parent)
+    }
+
+    /// Opens a root span, ignoring the thread's current span. Used for
+    /// records whose tree position must not depend on which caller reached
+    /// them first (single-flight simulation runs under a parallel sweep).
+    pub fn scope_rooted(&self, category: &'static str, name: impl Into<String>) -> SpanScope<'_> {
+        self.scope_with_parent(category, name, None)
+    }
+
+    fn scope_with_parent(
+        &self,
+        category: &'static str,
+        name: impl Into<String>,
+        parent: Option<u64>,
+    ) -> SpanScope<'_> {
+        let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let previous = CURRENT_SPAN.with(|cell| {
+            let previous = cell.get();
+            cell.set((self.instance, id));
+            previous
+        });
+        SpanScope {
+            recorder: self,
+            id,
+            parent,
+            previous,
+            category,
+            name: name.into(),
+            start_us: self.now_us(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Records an instantaneous event (an anomaly, a marker) parented
+    /// under the thread's current span.
+    pub fn event(
+        &self,
+        category: &'static str,
+        name: impl Into<String>,
+        attrs: Vec<(&'static str, AttrValue)>,
+    ) {
+        let record = SpanRecord {
+            id: self.next_span.fetch_add(1, Ordering::Relaxed),
+            parent: self.current(),
+            category,
+            name: name.into(),
+            thread: self.thread_index(),
+            start_us: self.now_us(),
+            dur_us: 0,
+            is_event: true,
+            attrs,
+        };
+        self.push(record);
+    }
+
+    fn push(&self, record: SpanRecord) {
+        // Recover a poisoned lock: the vector is only ever appended to, so
+        // a panicking sibling cannot leave it torn.
+        self.records.lock().unwrap_or_else(|poison| poison.into_inner()).push(record);
+    }
+
+    /// Snapshot of all finished records (open spans are absent until their
+    /// guard drops).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records.lock().unwrap_or_else(|poison| poison.into_inner()).clone()
+    }
+
+    /// Number of finished records so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap_or_else(|poison| poison.into_inner()).len()
+    }
+
+    /// True if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// RAII guard for an open span; records it on drop.
+#[derive(Debug)]
+pub struct SpanScope<'a> {
+    recorder: &'a Recorder,
+    id: u64,
+    parent: Option<u64>,
+    previous: (u64, u64),
+    category: &'static str,
+    name: String,
+    start_us: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanScope<'_> {
+    /// This span's id (for explicit cross-thread parenting).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attaches an attribute.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) -> &mut Self {
+        self.attrs.push((key, value.into()));
+        self
+    }
+
+    /// Ends the span explicitly (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for SpanScope<'_> {
+    fn drop(&mut self) {
+        CURRENT_SPAN.with(|cell| cell.set(self.previous));
+        let end_us = self.recorder.now_us();
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            category: self.category,
+            name: std::mem::take(&mut self.name),
+            thread: self.recorder.thread_index(),
+            start_us: self.start_us,
+            dur_us: end_us.saturating_sub(self.start_us),
+            is_event: false,
+            attrs: std::mem::take(&mut self.attrs),
+        };
+        self.recorder.push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_under_the_current_span() {
+        let recorder = Recorder::new();
+        {
+            let outer = recorder.scope("experiment", "outer");
+            let outer_id = outer.id();
+            {
+                let inner = recorder.scope("calibration", "inner");
+                assert_eq!(inner.parent, Some(outer_id));
+            }
+            assert_eq!(recorder.current(), Some(outer_id));
+        }
+        assert_eq!(recorder.current(), None);
+        let records = recorder.records();
+        assert_eq!(records.len(), 2);
+        // Inner finished first.
+        assert_eq!(records[0].name, "inner");
+        assert_eq!(records[0].parent, Some(records[1].id));
+        assert_eq!(records[1].parent, None);
+    }
+
+    #[test]
+    fn rooted_spans_ignore_the_ambient_parent() {
+        let recorder = Recorder::new();
+        let _outer = recorder.scope("experiment", "outer");
+        let rooted = recorder.scope_rooted("run", "rooted");
+        assert_eq!(rooted.parent, None);
+    }
+
+    #[test]
+    fn with_parent_propagates_across_threads() {
+        let recorder = Recorder::new();
+        let parent_id = {
+            let parent = recorder.scope("sweep", "root");
+            let id = parent.id();
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    recorder.with_parent(Some(id), || {
+                        let child = recorder.scope("experiment", "worker");
+                        assert_eq!(child.parent, Some(id));
+                    });
+                    assert_eq!(recorder.current(), None, "parent restored after closure");
+                });
+            });
+            id
+        };
+        let records = recorder.records();
+        let child = records.iter().find(|r| r.name == "worker").expect("worker span recorded");
+        assert_eq!(child.parent, Some(parent_id));
+        let root = records.iter().find(|r| r.name == "root").expect("root span recorded");
+        assert_ne!(child.thread, root.thread, "worker ran on its own thread");
+    }
+
+    #[test]
+    fn events_attach_attrs_and_have_zero_duration() {
+        let recorder = Recorder::new();
+        recorder.event(
+            "anomaly",
+            "degenerate-duration",
+            vec![("workload", "w".into()), ("seconds", 0.0.into())],
+        );
+        let records = recorder.records();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].is_event);
+        assert_eq!(records[0].dur_us, 0);
+        assert_eq!(records[0].attrs[0].1, AttrValue::Str("w".to_string()));
+    }
+
+    #[test]
+    fn two_recorders_do_not_share_thread_state() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        let _span_a = a.scope("experiment", "a");
+        // Recorder b must not see recorder a's current span.
+        assert_eq!(b.current(), None);
+        let span_b = b.scope("experiment", "b");
+        assert_eq!(span_b.parent, None);
+    }
+
+    #[test]
+    fn attr_values_convert_to_json() {
+        assert_eq!(AttrValue::from(3u64).to_json().render(), "3");
+        assert_eq!(AttrValue::from(-2i64).to_json().render(), "-2");
+        assert_eq!(AttrValue::from(0.5).to_json().render(), "0.5");
+        assert_eq!(AttrValue::from("s").to_json().render(), "\"s\"");
+        assert_eq!(AttrValue::from(true).to_json().render(), "true");
+    }
+}

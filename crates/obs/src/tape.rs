@@ -1,0 +1,211 @@
+//! Epoch tape: the time-series half of the observability layer.
+//!
+//! The sim engine appends one [`TapeSample`] per sampling epoch; the tape
+//! is the simulated analogue of the paper's PMU sampling run (§4.4.5) and
+//! feeds the `repro explain` drill-down. The structs here are pure data —
+//! the engine owns the recording logic so the hot path stays inside
+//! `camp-sim`.
+
+use crate::json::Json;
+use std::fmt::Write as _;
+
+/// Per-tier (fast / slow device) counters for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TierTapeSample {
+    /// Demand + prefetch reads completed this epoch.
+    pub reads: u64,
+    /// Writebacks completed this epoch.
+    pub writes: u64,
+    /// Mean loaded read latency over the epoch, in nanoseconds
+    /// (0 when no reads completed).
+    pub loaded_latency_ns: f64,
+    /// Mean bandwidth-queue delay component of that latency, in
+    /// nanoseconds.
+    pub queue_delay_ns: f64,
+    /// Mean read-channel queue depth over the epoch (busy time divided by
+    /// epoch wall time; Little's-law occupancy, may exceed 1 per channel).
+    pub queue_depth: f64,
+}
+
+/// One epoch's worth of samples from the engine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TapeSample {
+    /// Retirement cycle at the end of this epoch.
+    pub cycle: u64,
+    /// Cumulative retired instructions at the end of this epoch.
+    pub instructions: u64,
+    /// Retirement IPC over this epoch alone.
+    pub ipc: f64,
+    /// Line-fill-buffer occupancy at the epoch boundary.
+    pub lfb: usize,
+    /// Super-queue occupancy at the epoch boundary.
+    pub sq: usize,
+    /// Store-buffer occupancy at the epoch boundary.
+    pub sb: usize,
+    /// Uncore prefetch-queue occupancy at the epoch boundary.
+    pub uncore_pf: usize,
+    /// Hardware prefetches issued this epoch.
+    pub pf_issued: u64,
+    /// Demand loads that caught up with a still-inflight prefetch this
+    /// epoch (late prefetches — issued but not timely).
+    pub pf_late: u64,
+    /// Fast-tier counters for this epoch.
+    pub fast: TierTapeSample,
+    /// Slow-tier counters for this epoch.
+    pub slow: TierTapeSample,
+}
+
+/// A complete epoch tape for one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tape {
+    /// Sampling interval in retirement cycles.
+    pub period: u64,
+    /// One sample per epoch, covering the whole run
+    /// (`ceil(cycles / period)` samples).
+    pub samples: Vec<TapeSample>,
+}
+
+impl Tape {
+    /// Column header shared by [`Tape::to_tsv`] and the explain report.
+    pub const TSV_HEADER: &'static str = "cycle\tinstructions\tipc\tlfb\tsq\tsb\tuncore_pf\t\
+         pf_issued\tpf_late\tfast_reads\tfast_writes\tfast_lat_ns\tfast_qdelay_ns\tfast_qdepth\t\
+         slow_reads\tslow_writes\tslow_lat_ns\tslow_qdelay_ns\tslow_qdepth";
+
+    /// Renders the tape as a TSV table (header + one row per epoch).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::with_capacity(128 * (self.samples.len() + 1));
+        out.push_str(Self::TSV_HEADER);
+        out.push('\n');
+        for s in &self.samples {
+            let _ = write!(
+                out,
+                "{}\t{}\t{:.4}\t{}\t{}\t{}\t{}\t{}\t{}",
+                s.cycle,
+                s.instructions,
+                s.ipc,
+                s.lfb,
+                s.sq,
+                s.sb,
+                s.uncore_pf,
+                s.pf_issued,
+                s.pf_late,
+            );
+            for tier in [&s.fast, &s.slow] {
+                let _ = write!(
+                    out,
+                    "\t{}\t{}\t{:.2}\t{:.2}\t{:.3}",
+                    tier.reads,
+                    tier.writes,
+                    tier.loaded_latency_ns,
+                    tier.queue_delay_ns,
+                    tier.queue_depth,
+                );
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the tape as a JSON document.
+    pub fn to_json(&self) -> Json {
+        fn tier(t: &TierTapeSample) -> Json {
+            Json::obj(vec![
+                ("reads", t.reads.into()),
+                ("writes", t.writes.into()),
+                ("loaded_latency_ns", t.loaded_latency_ns.into()),
+                ("queue_delay_ns", t.queue_delay_ns.into()),
+                ("queue_depth", t.queue_depth.into()),
+            ])
+        }
+        Json::obj(vec![
+            ("period", self.period.into()),
+            (
+                "samples",
+                Json::Arr(
+                    self.samples
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("cycle", s.cycle.into()),
+                                ("instructions", s.instructions.into()),
+                                ("ipc", s.ipc.into()),
+                                ("lfb", (s.lfb as u64).into()),
+                                ("sq", (s.sq as u64).into()),
+                                ("sb", (s.sb as u64).into()),
+                                ("uncore_pf", (s.uncore_pf as u64).into()),
+                                ("pf_issued", s.pf_issued.into()),
+                                ("pf_late", s.pf_late.into()),
+                                ("fast", tier(&s.fast)),
+                                ("slow", tier(&s.slow)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_tape() -> Tape {
+        Tape {
+            period: 100_000,
+            samples: vec![
+                TapeSample {
+                    cycle: 100_000,
+                    instructions: 250_000,
+                    ipc: 2.5,
+                    lfb: 12,
+                    sq: 20,
+                    sb: 4,
+                    uncore_pf: 3,
+                    pf_issued: 800,
+                    pf_late: 30,
+                    fast: TierTapeSample {
+                        reads: 900,
+                        writes: 100,
+                        loaded_latency_ns: 95.5,
+                        queue_delay_ns: 12.25,
+                        queue_depth: 1.75,
+                    },
+                    slow: TierTapeSample::default(),
+                },
+                TapeSample {
+                    cycle: 150_000,
+                    instructions: 300_000,
+                    ipc: 1.0,
+                    ..Default::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn tsv_has_header_plus_one_row_per_sample() {
+        let tsv = sample_tape().to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], Tape::TSV_HEADER);
+        let columns = lines[0].split('\t').count();
+        for row in &lines[1..] {
+            assert_eq!(row.split('\t').count(), columns, "ragged row: {row}");
+        }
+        assert!(lines[1].starts_with("100000\t250000\t2.5000\t12\t20\t4\t3\t800\t30\t900\t100\t"));
+    }
+
+    #[test]
+    fn json_roundtrips_and_exposes_samples() {
+        let tape = sample_tape();
+        let doc = json::parse(&tape.to_json().render()).expect("tape json parses");
+        assert_eq!(doc.get("period").and_then(Json::as_u64), Some(100_000));
+        let samples = doc.get("samples").and_then(Json::as_arr).expect("samples array");
+        assert_eq!(samples.len(), 2);
+        let fast = samples[0].get("fast").expect("fast tier");
+        assert_eq!(fast.get("loaded_latency_ns").and_then(Json::as_f64), Some(95.5));
+        assert_eq!(samples[1].get("cycle").and_then(Json::as_u64), Some(150_000));
+    }
+}

@@ -24,6 +24,16 @@ impl Epoch {
     pub fn cycles(&self) -> u64 {
         self.end_cycle - self.start_cycle
     }
+
+    /// Retirement IPC over this epoch (0 for a zero-length epoch).
+    pub fn ipc(&self) -> f64 {
+        let cycles = self.cycles();
+        if cycles > 0 {
+            self.counters[crate::Event::Instructions] as f64 / cycles as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Collects per-epoch counter deltas from cumulative snapshots.
@@ -81,6 +91,11 @@ impl EpochSampler {
     /// Cycle at which the next epoch boundary falls.
     pub fn next_boundary(&self) -> u64 {
         self.last_cycle + self.period
+    }
+
+    /// Cycle of the most recent observation (0 before the first).
+    pub fn last_cycle(&self) -> u64 {
+        self.last_cycle
     }
 
     /// Records a cumulative snapshot taken at `cycle`, closing one epoch.

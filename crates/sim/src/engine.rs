@@ -18,6 +18,7 @@ use crate::config::{CounterFlavor, DeviceKind, Platform, PlatformConfig, LINE_BY
 use crate::error::SimError;
 use crate::inflight::{InflightBuffer, Time, WaitClass};
 use crate::mem::Device;
+use crate::mem::DeviceStats;
 use crate::op::{Op, Workload};
 use crate::optrace::OpTrace;
 use crate::placement::{Placement, PlacementState, TierId};
@@ -25,6 +26,7 @@ use crate::prefetch::StreamPrefetcher;
 use crate::report::{RunReport, TierReport};
 use crate::storebuf::StoreBuffer;
 use crate::sweep::MlpSweep;
+use camp_obs::{Tape, TapeSample, TierTapeSample};
 use camp_pmu::{CounterSet, EpochSampler, Event};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -60,6 +62,7 @@ pub struct Machine {
     fast_background: f64,
     slow_background: f64,
     epoch_period: Option<u64>,
+    tape_period: Option<u64>,
     llc_sharers: Option<u32>,
 }
 
@@ -73,6 +76,7 @@ impl Machine {
             fast_background: 0.0,
             slow_background: 0.0,
             epoch_period: None,
+            tape_period: None,
             llc_sharers: None,
         }
     }
@@ -115,6 +119,19 @@ impl Machine {
     /// Enables per-epoch counter sampling with the given period in cycles.
     pub fn with_epochs(mut self, period_cycles: u64) -> Self {
         self.epoch_period = Some(period_cycles);
+        self
+    }
+
+    /// Enables the epoch tape: a time series of LFB/SQ/SB occupancy,
+    /// per-tier queue depth and loaded latency, prefetch issue/lateness
+    /// and retirement IPC, sampled every `period_cycles` retirement cycles
+    /// (the simulated analogue of the paper's PMU sampling run). The run
+    /// records exactly `ceil(cycles / period)` samples in
+    /// [`RunReport::tape`](crate::RunReport). Disabled by default; when
+    /// disabled the engine pays one predicted-false comparison per op. A
+    /// zero period is rejected by [`Machine::validate`].
+    pub fn with_tape(mut self, period_cycles: u64) -> Self {
+        self.tape_period = Some(period_cycles);
         self
     }
 
@@ -162,6 +179,11 @@ impl Machine {
         }
         if workload.footprint_bytes() == 0 {
             return Err(SimError::EmptyFootprint { workload: workload.name().to_string() });
+        }
+        for (what, period) in [("epoch", self.epoch_period), ("tape", self.tape_period)] {
+            if period == Some(0) {
+                return Err(SimError::InvalidSamplingPeriod { what });
+            }
         }
         Ok(())
     }
@@ -303,7 +325,49 @@ struct Engine<'a> {
     inst_count: u64,
     rob_floor: f64,
     sampler: Option<EpochSampler>,
+    tape: Option<TapeRecorder>,
+    /// Cycle of the next tape epoch boundary (`f64::INFINITY` when the
+    /// tape is disabled), cached so the per-op check is one
+    /// predicted-false float comparison.
+    tape_boundary: f64,
+    /// Demand loads that coalesced onto a still-inflight prefetch (late
+    /// prefetches). Engine-local rather than a PMU event so enabling the
+    /// tape cannot perturb counter-derived output.
+    pf_late: u64,
     retire_cost: f64,
+}
+
+/// In-progress epoch tape: fixed cycle boundaries, cumulative baselines
+/// for delta computation. Lives outside the per-op hot path — the engine
+/// only consults [`Engine::tape_boundary`] until a boundary is crossed.
+#[derive(Debug)]
+struct TapeRecorder {
+    period: u64,
+    next_boundary: u64,
+    samples: Vec<TapeSample>,
+    last_cycle: u64,
+    last_instructions: u64,
+    last_pf_issued: u64,
+    last_pf_late: u64,
+    last_fast: DeviceStats,
+    last_slow: DeviceStats,
+}
+
+impl TapeRecorder {
+    fn new(period: u64) -> Self {
+        assert!(period > 0, "tape sampling period must be positive");
+        TapeRecorder {
+            period,
+            next_boundary: period,
+            samples: Vec::new(),
+            last_cycle: 0,
+            last_instructions: 0,
+            last_pf_issued: 0,
+            last_pf_late: 0,
+            last_fast: DeviceStats::default(),
+            last_slow: DeviceStats::default(),
+        }
+    }
 }
 
 impl<'a> Engine<'a> {
@@ -352,6 +416,9 @@ impl<'a> Engine<'a> {
             inst_count: 0,
             rob_floor: 0.0,
             sampler: machine.epoch_period.map(EpochSampler::new),
+            tape: machine.tape_period.map(TapeRecorder::new),
+            tape_boundary: machine.tape_period.map_or(f64::INFINITY, |p| p as f64),
+            pf_late: 0,
             retire_cost: 1.0 / cfg.retire_width as f64,
         }
     }
@@ -560,6 +627,9 @@ impl<'a> Engine<'a> {
             (issue_t + l1_lat, WaitClass::None)
         } else if let Some(entry) = self.lfb.lookup(line, issue_t) {
             self.counters.incr(Event::LfbHit);
+            if entry.wait_class == WaitClass::Prefetch {
+                self.pf_late += 1;
+            }
             (entry.fill_time.max(issue_t + l1_lat), entry.wait_class)
         } else {
             let alloc_t = self.lfb.acquire_slot_at(issue_t);
@@ -581,6 +651,7 @@ impl<'a> Engine<'a> {
                     // Intel's FB_HIT semantics — and the wait is a
                     // late-prefetch (cache-slowdown) stall.
                     self.counters.incr(Event::LfbHit);
+                    self.pf_late += 1;
                     let fill = entry.fill_time.max(alloc_t + self.cfg.l2.hit_latency as f64);
                     self.lfb.allocate(line, fill, WaitClass::Prefetch);
                     self.schedule_fill(fill, line, FILL_L1, false);
@@ -701,6 +772,77 @@ impl<'a> Engine<'a> {
         self.sampler.as_mut().expect("sampler present").observe(t, &counters);
     }
 
+    #[inline]
+    fn maybe_tape(&mut self) {
+        if self.retire_t >= self.tape_boundary {
+            self.tape_catch_up();
+        }
+    }
+
+    /// Closes every tape epoch whose boundary has been crossed. One op can
+    /// jump retirement across several boundaries (a long memory stall), so
+    /// this loops: each missed boundary still gets its own sample —
+    /// occupancy is measured *at the boundary cycle* (the buffers release
+    /// completed entries lazily, so asking about a past instant is exact)
+    /// while the counter deltas land in the first epoch of the jump.
+    #[cold]
+    fn tape_catch_up(&mut self) {
+        let mut tape = self.tape.take().expect("tape boundary finite only when tape enabled");
+        while self.retire_t >= tape.next_boundary as f64 {
+            let boundary = tape.next_boundary;
+            self.tape_push(&mut tape, boundary);
+            tape.next_boundary += tape.period;
+        }
+        self.tape_boundary = tape.next_boundary as f64;
+        self.tape = Some(tape);
+    }
+
+    /// Appends one tape sample covering `(tape.last_cycle, cycle]`.
+    fn tape_push(&mut self, tape: &mut TapeRecorder, cycle: u64) {
+        let now = cycle as f64;
+        let epoch_cycles = (cycle - tape.last_cycle).max(1) as f64;
+        let pf_issued =
+            self.counters[Event::PfL1dAnyResponse] + self.counters[Event::PfL2AnyResponse];
+        let fast = *self.fast.stats();
+        let slow = self.slow.as_ref().map_or_else(DeviceStats::default, |d| *d.stats());
+        let ns_per_cycle = self.cfg.cycles_to_seconds(1.0) * 1e9;
+        let tier = move |delta: DeviceStats| {
+            let per_read = |total: f64| {
+                if delta.reads > 0 {
+                    total / delta.reads as f64 * ns_per_cycle
+                } else {
+                    0.0
+                }
+            };
+            TierTapeSample {
+                reads: delta.reads,
+                writes: delta.writes,
+                loaded_latency_ns: per_read(delta.total_read_latency),
+                queue_delay_ns: per_read(delta.total_read_queue_delay),
+                queue_depth: delta.read_busy / epoch_cycles,
+            }
+        };
+        tape.samples.push(TapeSample {
+            cycle,
+            instructions: self.inst_count,
+            ipc: (self.inst_count - tape.last_instructions) as f64 / epoch_cycles,
+            lfb: self.lfb.occupancy(now),
+            sq: self.sq.occupancy(now),
+            sb: self.sb.occupancy(now),
+            uncore_pf: self.uncore_pf.occupancy(now),
+            pf_issued: pf_issued - tape.last_pf_issued,
+            pf_late: self.pf_late - tape.last_pf_late,
+            fast: tier(fast.delta_since(&tape.last_fast)),
+            slow: tier(slow.delta_since(&tape.last_slow)),
+        });
+        tape.last_cycle = cycle;
+        tape.last_instructions = self.inst_count;
+        tape.last_pf_issued = pf_issued;
+        tape.last_pf_late = self.pf_late;
+        tape.last_fast = fast;
+        tape.last_slow = slow;
+    }
+
     // ---- main loop ----------------------------------------------------
 
     /// Ops ingested per batch: large enough that the per-batch loop
@@ -778,6 +920,7 @@ impl<'a> Engine<'a> {
         }
         self.scratch.rob_history.push_back((self.inst_count, self.retire_t));
         self.maybe_sample();
+        self.maybe_tape();
     }
 
     fn finish(mut self, workload: &dyn Workload) -> RunReport {
@@ -786,6 +929,15 @@ impl<'a> Engine<'a> {
             let t = self.retire_t as u64;
             sampler.observe(t, &self.counters);
         }
+        // Close the final partial tape epoch so the tape always holds
+        // exactly ceil(cycles / period) samples.
+        let tape = self.tape.take().map(|mut tape| {
+            let total = self.counters[Event::Cycles];
+            if (tape.samples.len() as u64) < total.div_ceil(tape.period) {
+                self.tape_push(&mut tape, total);
+            }
+            Tape { period: tape.period, samples: tape.samples }
+        });
         let cfg = self.cfg;
         let fast_stats = *self.fast.stats();
         let slow_tier = self.slow.as_ref().map(|device| TierReport {
@@ -808,6 +960,7 @@ impl<'a> Engine<'a> {
             },
             slow_tier,
             epochs: self.sampler.map(|s| s.into_epochs()).unwrap_or_default(),
+            tape,
         }
     }
 }

@@ -74,6 +74,11 @@ pub enum SimError {
         /// Workload name.
         workload: String,
     },
+    /// An epoch or tape sampling period is zero.
+    InvalidSamplingPeriod {
+        /// Which sampler (`"epoch"` / `"tape"`).
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -108,6 +113,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::EmptyFootprint { workload } => {
                 write!(f, "workload '{workload}' declares a zero-byte footprint")
+            }
+            SimError::InvalidSamplingPeriod { what } => {
+                write!(f, "{what} sampling period must be positive")
             }
         }
     }

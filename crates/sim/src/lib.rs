@@ -60,6 +60,7 @@ pub mod storebuf;
 pub mod sweep;
 pub mod trace;
 
+pub use camp_obs::{Tape, TapeSample, TierTapeSample};
 pub use config::{
     CacheGeometry, CounterFlavor, DeviceConfig, DeviceKind, Platform, PlatformConfig, LINE_BYTES,
     PAGE_BYTES,

@@ -77,6 +77,21 @@ impl DeviceStats {
     pub fn rfo_bytes(&self) -> u64 {
         self.rfos * LINE_BYTES
     }
+
+    /// Counter deltas accumulated since an `earlier` snapshot of the same
+    /// device (used by the epoch tape). `max_read_queue_delay` is a
+    /// running maximum, not a sum, so the current value carries over.
+    pub fn delta_since(&self, earlier: &DeviceStats) -> DeviceStats {
+        DeviceStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            rfos: self.rfos - earlier.rfos,
+            total_read_latency: self.total_read_latency - earlier.total_read_latency,
+            total_read_queue_delay: self.total_read_queue_delay - earlier.total_read_queue_delay,
+            read_busy: self.read_busy - earlier.read_busy,
+            max_read_queue_delay: self.max_read_queue_delay,
+        }
+    }
 }
 
 /// One memory device instance for one simulation run.

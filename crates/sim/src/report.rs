@@ -2,6 +2,7 @@
 
 use crate::config::{DeviceKind, Platform};
 use crate::mem::DeviceStats;
+use camp_obs::Tape;
 use camp_pmu::{derived, CounterSet, Epoch};
 
 /// Per-tier summary of one run.
@@ -58,6 +59,9 @@ pub struct RunReport {
     pub slow_tier: Option<TierReport>,
     /// Per-epoch counter deltas, when epoch sampling was enabled.
     pub epochs: Vec<Epoch>,
+    /// Epoch tape (occupancy/latency time series), when enabled via
+    /// [`Machine::with_tape`](crate::Machine::with_tape).
+    pub tape: Option<Tape>,
 }
 
 impl RunReport {
@@ -151,6 +155,7 @@ mod tests {
                 idle_latency_cycles: 449.4,
             }),
             epochs: Vec::new(),
+            tape: None,
         }
     }
 

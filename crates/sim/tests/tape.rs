@@ -1,0 +1,168 @@
+//! Epoch-tape contract tests: exact sample counts, occupancy bounds, and
+//! the determinism guard (a disabled tape must not perturb the engine).
+
+use camp_sim::op::{Op, Workload};
+use camp_sim::{DeviceKind, Machine, Platform, SimError, LINE_BYTES};
+
+/// A dense independent-load stream over distinct lines (high MLP,
+/// bandwidth-flavoured).
+struct Gups {
+    lines: u64,
+    count: u64,
+}
+
+impl Workload for Gups {
+    fn name(&self) -> &str {
+        "tape-gups"
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.lines * LINE_BYTES
+    }
+    fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
+        let lines = self.lines;
+        Box::new((0..self.count).map(move |i| Op::load((i.wrapping_mul(2654435761) % lines) * 64)))
+    }
+}
+
+/// A serialised pointer chase (latency-flavoured) with a store sprinkled
+/// in so the store buffer sees traffic too.
+struct ChaseWithStores {
+    lines: u64,
+    rounds: u64,
+}
+
+impl Workload for ChaseWithStores {
+    fn name(&self) -> &str {
+        "tape-chase"
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.lines * LINE_BYTES
+    }
+    fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
+        let lines = self.lines;
+        Box::new((0..self.rounds).flat_map(move |_| {
+            (0..lines).flat_map(move |i| {
+                let line = (i.wrapping_mul(48271)) % lines;
+                [Op::chase(line * 64), Op::store(((i * 7) % lines) * 64)].into_iter()
+            })
+        }))
+    }
+}
+
+#[test]
+fn sample_count_is_exactly_ceil_cycles_over_period() {
+    let w = Gups { lines: 1 << 14, count: 30_000 };
+    for period in [1_000u64, 7_777, 100_000, 10_000_000] {
+        let report =
+            Machine::slow_only(Platform::Spr2s, DeviceKind::CxlA).with_tape(period).run(&w);
+        let tape = report.tape.as_ref().expect("tape enabled");
+        assert_eq!(tape.period, period);
+        let cycles = report.cycles.round() as u64;
+        assert_eq!(
+            tape.samples.len() as u64,
+            cycles.div_ceil(period),
+            "period {period}, cycles {cycles}"
+        );
+        // Sample cycles are strictly increasing and end within the run.
+        for pair in tape.samples.windows(2) {
+            assert!(pair[0].cycle < pair[1].cycle);
+        }
+        assert!(tape.samples.last().expect("non-empty").cycle <= cycles);
+    }
+}
+
+#[test]
+fn occupancy_samples_are_bounded_by_structure_sizes() {
+    let w = Gups { lines: 1 << 15, count: 60_000 };
+    let machine = Machine::slow_only(Platform::Skx2s, DeviceKind::CxlA).with_tape(5_000);
+    let cfg = machine.platform_config().clone();
+    let report = machine.run(&w);
+    let tape = report.tape.expect("tape enabled");
+    assert!(!tape.samples.is_empty());
+    let mut saw_lfb_pressure = false;
+    for s in &tape.samples {
+        assert!(s.lfb <= cfg.lfb_entries as usize, "lfb {} > {}", s.lfb, cfg.lfb_entries);
+        assert!(s.sq <= cfg.sq_entries as usize, "sq {} > {}", s.sq, cfg.sq_entries);
+        assert!(s.sb <= cfg.sb_entries as usize, "sb {} > {}", s.sb, cfg.sb_entries);
+        assert!(
+            s.uncore_pf <= cfg.uncore_pf_entries as usize,
+            "uncore pf {} > {}",
+            s.uncore_pf,
+            cfg.uncore_pf_entries
+        );
+        assert!(s.ipc >= 0.0 && s.ipc.is_finite());
+        for tier in [&s.fast, &s.slow] {
+            assert!(tier.loaded_latency_ns >= 0.0 && tier.loaded_latency_ns.is_finite());
+            assert!(tier.queue_delay_ns >= 0.0);
+            assert!(tier.queue_depth >= 0.0);
+        }
+        saw_lfb_pressure |= s.lfb > 0;
+    }
+    assert!(saw_lfb_pressure, "a memory-bound run must show LFB occupancy");
+    // GUPS on a slow-only machine: traffic lands on the slow tier.
+    let slow_reads: u64 = tape.samples.iter().map(|s| s.slow.reads).sum();
+    assert!(slow_reads > 0, "slow tier must serve reads");
+}
+
+#[test]
+fn disabled_tape_is_byte_identical_and_enabled_tape_does_not_perturb() {
+    let w = ChaseWithStores { lines: 1 << 12, rounds: 4 };
+    let machine = Machine::slow_only(Platform::Spr2s, DeviceKind::CxlB);
+    let plain_a = machine.run(&w);
+    let plain_b = machine.run(&w);
+    let taped = machine.clone().with_tape(10_000).run(&w);
+
+    // Determinism guard: no tape => identical reports run to run.
+    assert!(plain_a.tape.is_none());
+    assert_eq!(plain_a.counters, plain_b.counters);
+    assert_eq!(plain_a.cycles, plain_b.cycles);
+    assert_eq!(plain_a.fast_tier.stats, plain_b.fast_tier.stats);
+
+    // Recording a tape must not change what the engine computes: sampling
+    // only reads engine state (lazy buffer release is semantically
+    // neutral).
+    assert_eq!(plain_a.counters, taped.counters);
+    assert_eq!(plain_a.cycles, taped.cycles);
+    assert_eq!(plain_a.instructions, taped.instructions);
+    assert_eq!(plain_a.fast_tier.stats, taped.fast_tier.stats);
+    assert_eq!(
+        plain_a.slow_tier.as_ref().map(|t| t.stats),
+        taped.slow_tier.as_ref().map(|t| t.stats)
+    );
+    assert!(taped.tape.is_some());
+}
+
+#[test]
+fn tape_deltas_sum_to_run_totals() {
+    let w = Gups { lines: 1 << 14, count: 30_000 };
+    let report = Machine::slow_only(Platform::Spr2s, DeviceKind::CxlA).with_tape(25_000).run(&w);
+    let tape = report.tape.expect("tape enabled");
+    let slow = report.slow_tier.expect("slow tier configured");
+    let reads: u64 = tape.samples.iter().map(|s| s.slow.reads).sum();
+    let writes: u64 = tape.samples.iter().map(|s| s.slow.writes).sum();
+    assert_eq!(reads, slow.stats.reads, "per-epoch read deltas must partition the total");
+    assert_eq!(writes, slow.stats.writes);
+    let instructions = tape.samples.last().expect("non-empty").instructions;
+    assert_eq!(instructions, report.instructions);
+}
+
+#[test]
+fn tape_exports_render() {
+    let w = Gups { lines: 1 << 12, count: 5_000 };
+    let report = Machine::dram_only(Platform::Spr2s).with_tape(10_000).run(&w);
+    let tape = report.tape.expect("tape enabled");
+    let tsv = tape.to_tsv();
+    assert_eq!(tsv.lines().count(), tape.samples.len() + 1);
+    let json = tape.to_json().render();
+    let parsed = camp_obs::json::parse(&json).expect("tape JSON parses");
+    let samples = parsed.get("samples").and_then(|s| s.as_arr()).expect("samples");
+    assert_eq!(samples.len(), tape.samples.len());
+}
+
+#[test]
+fn zero_tape_period_is_a_typed_error() {
+    let w = Gups { lines: 1 << 10, count: 100 };
+    let error = Machine::dram_only(Platform::Spr2s).with_tape(0).try_run(&w).unwrap_err();
+    assert_eq!(error, SimError::InvalidSamplingPeriod { what: "tape" });
+    assert!(error.to_string().contains("tape sampling period"));
+}
