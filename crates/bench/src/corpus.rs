@@ -1,0 +1,86 @@
+//! Deterministic request corpus for `camp-serve` load generation.
+//!
+//! `loadgen`, the integration tests, and the CI smoke job all need the
+//! same thing: a stream of *plausible* PMU signatures that is (a) fully
+//! determined by a seed, so two runs are comparable byte-for-byte, and
+//! (b) spread over the regimes the predictor distinguishes — compute-
+//! bound, latency-bound, bandwidth-ish, store-heavy — so a load test
+//! exercises more than one branch of the model. Signatures are
+//! synthesized directly (no simulation) from [`SplitMix`] draws, keeping
+//! corpus generation instant relative to the serving path it drives.
+
+use camp_core::Signature;
+use camp_serve::PredictRequest;
+use camp_sim::Platform;
+use camp_workloads::rng::SplitMix;
+
+/// One synthetic signature. Field ranges mirror what the simulator
+/// actually emits for the suite: total cycles around 1e7, stall
+/// components bounded by their containing counters, latencies between
+/// L3-hit and deep-CXL territory.
+pub fn signature(rng: &mut SplitMix) -> Signature {
+    let cycles = 5e6 + rng.unit() * 2e7;
+    // Memory-boundness spans near-idle (2%) to saturated (75%).
+    let memory_active = cycles * (0.02 + rng.unit() * 0.73);
+    // Split the memory-active window into demand-read, cache-victim, and
+    // store-buffer exposure; the remainder is overlapped/hidden time.
+    let (a, b) = (rng.unit(), rng.unit());
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let s_llc = memory_active * lo * 0.9;
+    let s_cache = memory_active * (hi - lo) * 0.25;
+    let s_sb = memory_active * (1.0 - hi) * 0.35;
+    // Unloaded-ish DRAM latency to loaded-CXL latency, in cycles.
+    let latency = 150.0 + rng.unit() * 500.0;
+    // Parallelism from pointer-chase (1) to streaming (LFB-limited).
+    let mlp = 1.0 + rng.unit() * 15.0;
+    Signature {
+        cycles,
+        s_llc,
+        s_cache,
+        s_sb,
+        memory_active,
+        latency,
+        mlp,
+        r_lfb_hit: rng.unit() * 0.8,
+        r_mem: 0.1 + rng.unit() * 0.9,
+    }
+}
+
+/// Builds the request corpus: `count` predict requests of `batch`
+/// signatures each, ids `0..count`, all for `platform` with the server's
+/// full calibrated device set (empty device list). The whole corpus is a
+/// pure function of `(seed, count, batch, platform)`.
+pub fn requests(seed: u64, count: usize, batch: usize, platform: Platform) -> Vec<PredictRequest> {
+    let mut rng = SplitMix::new(seed);
+    (0..count)
+        .map(|id| PredictRequest {
+            id: id as u64,
+            platform,
+            devices: Vec::new(),
+            signatures: (0..batch.max(1)).map(|_| signature(&mut rng)).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_finite() {
+        let a = requests(42, 16, 3, Platform::Spr2s);
+        let b = requests(42, 16, 3, Platform::Spr2s);
+        assert_eq!(a, b, "same seed, same corpus");
+        let c = requests(43, 16, 3, Platform::Spr2s);
+        assert_ne!(a, c, "different seed, different corpus");
+        for request in &a {
+            assert_eq!(request.signatures.len(), 3);
+            for sig in &request.signatures {
+                assert!(sig.check("corpus").is_ok(), "corpus signatures are finite");
+                assert!(sig.cycles > 0.0);
+                assert!(sig.memory_active <= sig.cycles);
+                assert!(sig.s_llc + sig.s_cache + sig.s_sb <= sig.memory_active);
+            }
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! for recorded paper-vs-measured outcomes.
 
 #![warn(missing_docs)]
+pub mod corpus;
 pub mod experiments;
 pub mod explain;
 pub mod harness;

@@ -1,0 +1,160 @@
+//! Drives the real `loadgen` binary against an in-process server:
+//! corpus determinism across client counts, TSV outputs, and failure
+//! surfacing.
+
+use camp_core::stats::Hyperbola;
+use camp_core::Calibration;
+use camp_serve::{ServeConfig, Server};
+use camp_sim::{DeviceKind, Platform};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn synthetic_calibration(platform: Platform, device: DeviceKind) -> Calibration {
+    Calibration {
+        platform,
+        device,
+        hyperbola: Hyperbola { p: 1.2, q: 40.0 },
+        k_drd: 0.9,
+        k_drd_aol: 0.8,
+        l3_hit_latency: 50.0,
+        k_cache: 0.4,
+        k_store: 0.3,
+        dram_idle_latency: 240.0,
+        slow_idle_latency: 450.0,
+        samples: 8,
+    }
+}
+
+fn start_server() -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        pairs: DeviceKind::SLOW_TIERS.into_iter().map(|d| (Platform::Spr2s, d)).collect(),
+        calibrate: synthetic_calibration,
+        ..ServeConfig::default()
+    })
+    .expect("server starts")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("camp-loadgen-test-{}-{name}", std::process::id()))
+}
+
+fn run_loadgen(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args(args)
+        .output()
+        .expect("loadgen runs")
+}
+
+#[test]
+fn loadgen_is_deterministic_across_client_counts() {
+    let server = start_server();
+    let addr = server.addr().to_string();
+    let single = temp_path("pred-single.tsv");
+    let multi = temp_path("pred-multi.tsv");
+    let latency = temp_path("latency.tsv");
+
+    let output = run_loadgen(&[
+        "--addr",
+        &addr,
+        "--clients",
+        "1",
+        "--requests",
+        "200",
+        "--batch",
+        "3",
+        "--seed",
+        "42",
+        "--predictions-out",
+        single.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+
+    let output = run_loadgen(&[
+        "--addr",
+        &addr,
+        "--clients",
+        "7",
+        "--requests",
+        "200",
+        "--batch",
+        "3",
+        "--seed",
+        "42",
+        "--predictions-out",
+        multi.to_str().unwrap(),
+        "--out",
+        latency.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+
+    let single_text = std::fs::read_to_string(&single).expect("single dump");
+    let multi_text = std::fs::read_to_string(&multi).expect("multi dump");
+    assert!(!single_text.trim().is_empty());
+    assert_eq!(
+        single_text, multi_text,
+        "prediction dump must be byte-identical regardless of client count"
+    );
+    // 200 requests x 3 signatures x 4 devices + header.
+    assert_eq!(single_text.lines().count(), 200 * 3 * 4 + 1);
+
+    // The summary TSV went to both stdout and --out, reports zero
+    // errors, and its histogram counts add up to the request count.
+    let summary = std::fs::read_to_string(&latency).expect("latency tsv");
+    assert_eq!(summary, String::from_utf8_lossy(&output.stdout));
+    assert!(summary.contains("requests\t200"), "{summary}");
+    assert!(summary.contains("errors\t0"), "{summary}");
+    assert!(summary.contains("predictions\t2400"), "{summary}");
+    let histogram: u64 = summary
+        .lines()
+        .skip_while(|line| !line.starts_with("bucket_le_us"))
+        .skip(1)
+        .map(|line| line.split('\t').nth(1).expect("count").parse::<u64>().expect("number"))
+        .sum();
+    assert_eq!(histogram, 200);
+
+    for path in [&single, &multi, &latency] {
+        std::fs::remove_file(path).ok();
+    }
+    server.shutdown();
+    server.join().expect("join");
+}
+
+#[test]
+fn loadgen_fails_loudly_when_the_platform_is_uncalibrated() {
+    let server = start_server();
+    let addr = server.addr().to_string();
+    // The server only calibrated SPR2S; asking for SKX2S must fail the
+    // run and say why.
+    let output = run_loadgen(&[
+        "--addr",
+        &addr,
+        "--clients",
+        "2",
+        "--requests",
+        "4",
+        "--platform",
+        "SKX2S",
+    ]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("uncalibrated"), "stderr: {stderr}");
+    server.shutdown();
+    server.join().expect("join");
+}
+
+#[test]
+fn loadgen_rejects_bad_flags() {
+    for (args, want) in [
+        (vec!["--clients", "0"], "--clients"),
+        (vec!["--requests"], "--requests"),
+        (vec!["--platform", "Z80"], "unknown platform"),
+        (vec!["--addr", "not-an-addr"], "--addr"),
+        (vec!["stray"], "unrecognised"),
+    ] {
+        let output = run_loadgen(&args);
+        assert!(!output.status.success(), "args {args:?} must fail");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(stderr.contains(want), "args {args:?}: stderr {stderr:?} must mention {want:?}");
+    }
+}

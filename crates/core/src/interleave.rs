@@ -21,31 +21,6 @@ use crate::model::{CampPredictor, SlowdownPrediction};
 use crate::signature::Signature;
 use camp_sim::{DeviceKind, Machine, Platform, RunReport, Workload};
 
-/// Rejects a signature whose counter-derived fields picked up a NaN or
-/// infinity upstream, naming the workload and field.
-fn check_signature(workload: &str, sig: &Signature) -> Result<(), ModelError> {
-    for (field, value) in [
-        ("cycles", sig.cycles),
-        ("memory_active", sig.memory_active),
-        ("s_llc", sig.s_llc),
-        ("s_cache", sig.s_cache),
-        ("s_sb", sig.s_sb),
-        ("latency", sig.latency),
-        ("mlp", sig.mlp),
-        ("r_lfb_hit", sig.r_lfb_hit),
-        ("r_mem", sig.r_mem),
-    ] {
-        if !value.is_finite() {
-            return Err(ModelError::NonFiniteSignature {
-                workload: workload.to_string(),
-                field,
-                value,
-            });
-        }
-    }
-    Ok(())
-}
-
 /// Default classification tolerance `τ` (§5.3): a workload is
 /// bandwidth-bound when its loaded DRAM latency exceeds the unloaded
 /// latency by more than this fraction.
@@ -251,8 +226,8 @@ impl InterleaveModel {
         };
         let sig_d = Signature::from_report(dram);
         let sig_s = Signature::from_report(slow);
-        check_signature(&dram.workload, &sig_d)?;
-        check_signature(&slow.workload, &sig_s)?;
+        sig_d.check(&dram.workload)?;
+        sig_s.check(&slow.workload)?;
         let endpoint = |idle: f64, loaded: Option<f64>, stalls: ComponentStalls| {
             TierEndpoint::try_new(idle, loaded.unwrap_or(idle).max(idle), stalls)
         };
@@ -289,8 +264,46 @@ impl InterleaveModel {
         dram: &RunReport,
         predictor: &CampPredictor,
     ) -> Result<Self, ModelError> {
-        check_signature(&dram.workload, &Signature::from_report(dram))?;
+        Signature::from_report(dram).check(&dram.workload)?;
         Ok(Self::from_dram_run(dram, predictor))
+    }
+
+    /// Builds the latency-bound model from a bare signature — no
+    /// [`RunReport`] at all. This is the serving-layer path: a remote
+    /// client ships the DRAM-run signature over the wire, and both tiers'
+    /// latencies come from the predictor's calibration (unloaded, as in
+    /// [`InterleaveModel::from_dram_run`] — without a run there is no
+    /// loaded-latency measurement, so the one-run workflow is the only one
+    /// available). Rejects non-finite signatures with a typed error naming
+    /// `label`.
+    pub fn try_from_signature(
+        sig: &Signature,
+        predictor: &CampPredictor,
+        label: &str,
+    ) -> Result<Self, ModelError> {
+        sig.check(label)?;
+        let calib = predictor.calibration();
+        let prediction = predictor.predict_signature(sig);
+        let c = sig.cycles;
+        Ok(InterleaveModel {
+            dram: TierEndpoint::new(
+                calib.dram_idle_latency,
+                calib.dram_idle_latency,
+                ComponentStalls::from_signature(sig),
+            ),
+            slow: TierEndpoint::new(
+                calib.slow_idle_latency,
+                calib.slow_idle_latency,
+                ComponentStalls {
+                    llc: sig.s_llc + prediction.drd * c,
+                    cache: sig.s_cache + prediction.cache * c,
+                    sb: sig.s_sb + prediction.store * c,
+                },
+            ),
+            baseline_cycles: c,
+            boundness: Boundness::LatencyBound,
+            profiling_runs: 1,
+        })
     }
 
     /// Builds the model from a single DRAM run (the latency-bound workflow
@@ -634,6 +647,38 @@ mod tests {
         assert!(TierEndpoint::try_new(200.0, f64::INFINITY, stalls).is_err());
         assert!(TierEndpoint::try_new(-1.0, 200.0, stalls).is_err());
         assert!(TierEndpoint::try_new(200.0, 200.0, stalls).is_ok());
+    }
+
+    #[test]
+    fn signature_only_model_matches_the_dram_run_path() {
+        use crate::calibration::Calibration;
+        // The serving-layer constructor must agree with the historical
+        // from_dram_run path when fed the same signature, up to the two
+        // sources it cannot share with a report in hand: the DRAM idle
+        // latency (calibration vs run report) and the cycle base
+        // (counter-view `sig.cycles` vs report wall cycles, which differ
+        // at ~1e-9 relative on this substrate).
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * b.abs().max(1.0);
+        let calib = Calibration::fit(Platform::Spr2s, DeviceKind::CxlA);
+        let predictor = CampPredictor::new(calib);
+        let workload = camp_workloads::find("spec.505.mcf-1t").expect("in suite");
+        let dram = Machine::dram_only(Platform::Spr2s).run(workload.as_ref());
+        let sig = Signature::from_report(&dram);
+        let from_run = InterleaveModel::from_dram_run(&dram, &predictor);
+        let from_sig =
+            InterleaveModel::try_from_signature(&sig, &predictor, "wire").expect("finite");
+        assert_eq!(from_sig.slow.idle_latency, from_run.slow.idle_latency);
+        assert!(close(from_sig.slow.stalls.llc, from_run.slow.stalls.llc));
+        assert!(close(from_sig.slow.stalls.cache, from_run.slow.stalls.cache));
+        assert!(close(from_sig.slow.stalls.sb, from_run.slow.stalls.sb));
+        assert!(close(from_sig.baseline_cycles, from_run.baseline_cycles));
+        assert_eq!(from_sig.profiling_runs, 1);
+        assert!(close(from_sig.predict_total(0.5), from_run.predict_total(0.5)));
+        // Non-finite signatures are rejected with the label.
+        let mut broken = sig;
+        broken.r_mem = f64::INFINITY;
+        let error = InterleaveModel::try_from_signature(&broken, &predictor, "wire").unwrap_err();
+        assert!(error.to_string().contains("'wire'"), "{error}");
     }
 
     #[test]

@@ -12,8 +12,28 @@
 //! - `R_LFB-hit = P5/(P4+P5)`;
 //! - `R_Mem = (P7−P8)/P7` on SKX, `(P14/P15)·(P16/(P16+P17))` on SPR/EMR.
 
+use crate::error::ModelError;
+use camp_obs::Json;
 use camp_pmu::{derived, CounterSet};
 use camp_sim::{CounterFlavor, RunReport};
+
+/// A named accessor for one [`Signature`] field.
+type Field = (&'static str, fn(&Signature) -> f64);
+
+/// The signature fields in wire order: `(name, getter)` pairs shared by
+/// the JSON round-trip and the finiteness check, so a field added to
+/// [`Signature`] cannot be forgotten in one of them.
+const FIELDS: [Field; 9] = [
+    ("cycles", |s| s.cycles),
+    ("s_llc", |s| s.s_llc),
+    ("s_cache", |s| s.s_cache),
+    ("s_sb", |s| s.s_sb),
+    ("memory_active", |s| s.memory_active),
+    ("latency", |s| s.latency),
+    ("mlp", |s| s.mlp),
+    ("r_lfb_hit", |s| s.r_lfb_hit),
+    ("r_mem", |s| s.r_mem),
+];
 
 /// Per-component stall exposure and model factors from one profiling run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -118,6 +138,65 @@ impl Signature {
     /// `s_SB / c`: the store stall exposure factor of Eq. 7.
     pub fn store_stall_fraction(&self) -> f64 {
         self.s_sb / self.cycles
+    }
+
+    /// Rejects a signature whose counter-derived fields picked up a NaN or
+    /// infinity upstream, naming the offending field and the workload (or
+    /// request) label the caller supplies. Every model entry point that
+    /// accepts an externally supplied signature — the interleave
+    /// constructors, the serving layer — funnels through this check.
+    pub fn check(&self, label: &str) -> Result<(), ModelError> {
+        for (field, get) in FIELDS {
+            let value = get(self);
+            if !value.is_finite() {
+                return Err(ModelError::NonFiniteSignature {
+                    workload: label.to_string(),
+                    field,
+                    value,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialises to a JSON object (the `camp-serve` wire form), with the
+    /// fields in declaration order.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            FIELDS
+                .iter()
+                .map(|(name, get)| (name.to_string(), Json::Num(get(self))))
+                .collect(),
+        )
+    }
+
+    /// Deserialises from a JSON object. Every field is required and must
+    /// be a JSON number; unknown members are rejected (a misspelled field
+    /// silently defaulting to zero would skew predictions, not fail them).
+    pub fn from_json(json: &Json) -> Result<Signature, String> {
+        let members = json.as_obj().ok_or("signature must be a JSON object")?;
+        for (key, _) in members {
+            if !FIELDS.iter().any(|(name, _)| name == key) {
+                return Err(format!("unknown signature field '{key}'"));
+            }
+        }
+        let field = |name: &str| -> Result<f64, String> {
+            json.get(name)
+                .ok_or_else(|| format!("signature is missing field '{name}'"))?
+                .as_f64()
+                .ok_or_else(|| format!("signature field '{name}' must be a number"))
+        };
+        Ok(Signature {
+            cycles: field("cycles")?,
+            s_llc: field("s_llc")?,
+            s_cache: field("s_cache")?,
+            s_sb: field("s_sb")?,
+            memory_active: field("memory_active")?,
+            latency: field("latency")?,
+            mlp: field("mlp")?,
+            r_lfb_hit: field("r_lfb_hit")?,
+            r_mem: field("r_mem")?,
+        })
     }
 }
 
@@ -226,6 +305,41 @@ mod tests {
         assert_eq!(sig.latency_tolerance(), 0.0);
         assert_eq!(sig.r_lfb_hit, 0.0);
         assert!(sig.llc_stall_fraction().is_finite());
+    }
+
+    #[test]
+    fn json_roundtrips_exactly() {
+        let sig = Signature::from_counters(&counters(), CounterFlavor::SprEmr);
+        let rendered = sig.to_json().render();
+        let parsed = camp_obs::json::parse(&rendered).expect("valid json");
+        assert_eq!(Signature::from_json(&parsed).expect("roundtrips"), sig);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_unknown_and_non_numeric_fields() {
+        let sig = Signature::from_counters(&counters(), CounterFlavor::SprEmr);
+        let mut missing = sig.to_json();
+        missing.remove("mlp");
+        assert!(Signature::from_json(&missing).unwrap_err().contains("'mlp'"));
+        let unknown =
+            camp_obs::json::parse(&sig.to_json().render().replacen("\"cycles\"", "\"cycels\"", 1))
+                .unwrap();
+        assert!(Signature::from_json(&unknown).unwrap_err().contains("cycels"));
+        let non_numeric =
+            camp_obs::json::parse(&sig.to_json().render().replacen("10000", "\"x\"", 1)).unwrap();
+        assert!(Signature::from_json(&non_numeric).unwrap_err().contains("must be a number"));
+        assert!(Signature::from_json(&Json::Arr(vec![])).is_err());
+    }
+
+    #[test]
+    fn check_names_the_label_and_field() {
+        let mut sig = Signature::from_counters(&counters(), CounterFlavor::SprEmr);
+        assert!(sig.check("w").is_ok());
+        sig.latency = f64::NAN;
+        let error = sig.check("req-7").unwrap_err();
+        let text = error.to_string();
+        assert!(text.contains("req-7"), "{text}");
+        assert!(text.contains("latency"), "{text}");
     }
 
     #[test]

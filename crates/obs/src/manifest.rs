@@ -17,15 +17,20 @@ use std::collections::HashMap;
 pub const SCHEMA: &str = "camp-obs/1";
 
 /// Fixed ordering rank for the span taxonomy; unknown categories sort
-/// last (alphabetically by name within a rank).
+/// last (alphabetically by name within a rank). The first block is the
+/// repro-sweep taxonomy; `serve`/`conn`/`request` are the serving-layer
+/// taxonomy (`camp-serve` manifests: one `serve` root, a `conn` span per
+/// accepted connection, a `request` span per frame handled).
 fn category_rank(category: &str) -> u32 {
     match category {
-        "sweep" => 0,
+        "sweep" | "serve" => 0,
         "experiment" => 1,
         "calibration" => 2,
         "run" => 3,
-        "anomaly" => 4,
-        _ => 5,
+        "conn" => 4,
+        "request" => 5,
+        "anomaly" => 6,
+        _ => 7,
     }
 }
 

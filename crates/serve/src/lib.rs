@@ -1,0 +1,29 @@
+//! `camp-serve`: a batched, backpressured TCP prediction service over
+//! the CAMP models.
+//!
+//! The daemon answers the question operators actually ask the paper's
+//! models: *given this workload's PMU signature, how much slower will it
+//! run from each slow tier, and how should I interleave it?* Calibrations
+//! are fitted once at startup (the expensive part); after that every
+//! answer is pure arithmetic, so the serving concerns — bounded queueing,
+//! load shedding, per-request deadlines, graceful drain — dominate the
+//! design. See `DESIGN.md` §8 for the protocol and policy rationale.
+//!
+//! Crate layout:
+//!
+//! - [`protocol`] — length-prefixed JSON framing, typed requests,
+//!   responses, and error codes;
+//! - [`server`] — the daemon: accept loop, shedding queue, worker pool,
+//!   manifest;
+//! - [`client`] — a small blocking client used by `loadgen`, tests, and
+//!   the CI smoke job.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{DevicePrediction, ErrorCode, PredictRequest, Request, Response, StatsSnapshot};
+pub use server::{ServeConfig, Server};

@@ -63,6 +63,20 @@ impl std::fmt::Display for Platform {
     }
 }
 
+impl std::str::FromStr for Platform {
+    type Err = String;
+
+    /// Parses the paper's short display name (`"SKX2S"`, ...), case
+    /// insensitively — the inverse of [`Platform::name`], used by CLI
+    /// flags and the `camp-serve` wire protocol.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Platform::ALL
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown platform '{s}' (expected SKX2S, SPR2S, or EMR2S)"))
+    }
+}
+
 /// Which counter events a platform's PMU exposes for the cache model
 /// (§4.4.3): SKX has precise L1-prefetch response counters (`P7`/`P8`);
 /// SPR/EMR lack them and use uncore CHA proxies (`P14`–`P17`).
@@ -381,6 +395,28 @@ impl DeviceKind {
 impl std::fmt::Display for DeviceKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for DeviceKind {
+    type Err = String;
+
+    /// Parses the display name (`"CXL-A"`, `"NUMA"`, ...), case
+    /// insensitively — the inverse of [`DeviceKind::name`], used by CLI
+    /// flags and the `camp-serve` wire protocol.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        [
+            DeviceKind::LocalDram,
+            DeviceKind::Numa,
+            DeviceKind::CxlA,
+            DeviceKind::CxlB,
+            DeviceKind::CxlC,
+        ]
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| {
+            format!("unknown device '{s}' (expected DRAM, NUMA, CXL-A, CXL-B, or CXL-C)")
+        })
     }
 }
 

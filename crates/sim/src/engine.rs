@@ -782,9 +782,10 @@ impl<'a> Engine<'a> {
     /// Closes every tape epoch whose boundary has been crossed. One op can
     /// jump retirement across several boundaries (a long memory stall), so
     /// this loops: each missed boundary still gets its own sample —
-    /// occupancy is measured *at the boundary cycle* (the buffers release
-    /// completed entries lazily, so asking about a past instant is exact)
-    /// while the counter deltas land in the first epoch of the jump.
+    /// occupancy is measured *at the boundary cycle* via the buffers'
+    /// non-mutating `occupancy_at` (a mutating release here would evict
+    /// entries that lagging issue-time lookups still coalesce on) while
+    /// the counter deltas land in the first epoch of the jump.
     #[cold]
     fn tape_catch_up(&mut self) {
         let mut tape = self.tape.take().expect("tape boundary finite only when tape enabled");
@@ -826,10 +827,10 @@ impl<'a> Engine<'a> {
             cycle,
             instructions: self.inst_count,
             ipc: (self.inst_count - tape.last_instructions) as f64 / epoch_cycles,
-            lfb: self.lfb.occupancy(now),
-            sq: self.sq.occupancy(now),
-            sb: self.sb.occupancy(now),
-            uncore_pf: self.uncore_pf.occupancy(now),
+            lfb: self.lfb.occupancy_at(now),
+            sq: self.sq.occupancy_at(now),
+            sb: self.sb.occupancy_at(now),
+            uncore_pf: self.uncore_pf.occupancy_at(now),
             pf_issued: pf_issued - tape.last_pf_issued,
             pf_late: self.pf_late - tape.last_pf_late,
             fast: tier(fast.delta_since(&tape.last_fast)),

@@ -129,6 +129,16 @@ impl InflightBuffer {
         self.by_line.len()
     }
 
+    /// Number of entries that would be occupied at `now`, without
+    /// releasing anything. Observers (the epoch tape) must use this:
+    /// the engine queries these buffers at issue-time cursors that can
+    /// lag retirement, so an eager `release_until` at a retirement-time
+    /// boundary would destroy entries a later lagging `lookup` still
+    /// coalesces on, perturbing the simulation being observed.
+    pub fn occupancy_at(&self, now: f64) -> usize {
+        self.by_line.values().filter(|entry| entry.fill_time > now).count()
+    }
+
     /// True if at least `reserve + 1` entries are free at `now`. Used by
     /// prefetchers, which drop rather than wait, and keep a reserve so they
     /// cannot starve demand misses.

@@ -166,3 +166,69 @@ fn zero_tape_period_is_a_typed_error() {
     assert_eq!(error, SimError::InvalidSamplingPeriod { what: "tape" });
     assert!(error.to_string().contains("tape sampling period"));
 }
+
+/// Chase (long serialized stalls, lagging issue cursor) interleaved with
+/// short streaming bursts (prefetches in flight) and a store per round —
+/// the adversarial access mix for tape-boundary perturbation.
+struct Mix {
+    lines: u64,
+    rounds: u64,
+}
+
+impl Workload for Mix {
+    fn name(&self) -> &str {
+        "tape-stress-mix"
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.lines * LINE_BYTES
+    }
+    fn ops(&self) -> Box<dyn Iterator<Item = Op> + '_> {
+        let lines = self.lines;
+        Box::new((0..self.rounds).flat_map(move |r| {
+            (0..lines).flat_map(move |i| {
+                let chase_line = (i.wrapping_mul(48271).wrapping_add(r)) % lines;
+                // One dependent chase load, then a burst of sequential
+                // loads, then a store.
+                let base = ((i * 13) % lines) * 64;
+                let mut v = vec![Op::chase(chase_line * 64)];
+                for k in 0..6 {
+                    v.push(Op::load(base + k * 64));
+                }
+                v.push(Op::store(((i * 7) % lines) * 64));
+                v.into_iter()
+            })
+        }))
+    }
+}
+
+/// Sweeping the sampling period across orders of magnitude must never
+/// change what the engine computes — only what it records. Runs the mix
+/// on two platform/device pairs so both counter flavours are covered.
+#[test]
+fn taped_run_is_identical_for_many_periods() {
+    let w = Mix { lines: 1 << 12, rounds: 3 };
+    for (platform, device) in [
+        (Platform::Spr2s, DeviceKind::CxlA),
+        (Platform::Skx2s, DeviceKind::CxlB),
+    ] {
+        let machine = Machine::slow_only(platform, device);
+        let plain = machine.run(&w);
+        for period in [157u64, 500, 1_000, 3_000, 10_000, 50_000] {
+            let taped = machine.clone().with_tape(period).run(&w);
+            assert_eq!(
+                plain.counters, taped.counters,
+                "counters diverge: platform {platform}, device {device}, period {period}"
+            );
+            assert_eq!(
+                plain.cycles, taped.cycles,
+                "cycles diverge: platform {platform}, device {device}, period {period}"
+            );
+            assert_eq!(plain.fast_tier.stats, taped.fast_tier.stats, "fast stats, period {period}");
+            assert_eq!(
+                plain.slow_tier.as_ref().map(|t| t.stats),
+                taped.slow_tier.as_ref().map(|t| t.stats),
+                "slow stats, period {period}"
+            );
+        }
+    }
+}
